@@ -1,0 +1,54 @@
+"""Ablation: cache-capacity sensitivity of the AMT advantage.
+
+DESIGN.md calls out the machine model's central role: the AMT gains on
+LOBPCG hinge on chunks surviving in the LLC between producer and
+consumer tasks.  Shrinking the L3 should erode the DeepSparse-vs-libcsb
+gap; growing it should not hurt.
+"""
+
+import dataclasses
+
+from repro.analysis.experiment import _trace
+from repro.machine.presets import broadwell
+from repro.matrices.suite import SUITE
+from repro.runtime import BSPRuntime, DeepSparseRuntime
+from repro.tuning.blocksize import block_size_for_count
+
+from benchmarks.common import ITERATIONS, banner, emit
+
+MATRIX = "Queen4147"
+L3_SCALES = [0.25, 1.0, 4.0]
+
+
+def run_ablation():
+    spec = SUITE[MATRIX]
+    bs = block_size_for_count(spec.paper_rows, 48)
+    cen, calls, chunked, small = _trace(MATRIX, bs, "lobpcg", 8)
+    out = {}
+    for scale in L3_SCALES:
+        mach = dataclasses.replace(
+            broadwell(), l3_size=int(broadwell().l3_size * scale))
+        ds = DeepSparseRuntime(mach).run(cen, calls, chunked, small,
+                                         iterations=ITERATIONS)
+        csb = BSPRuntime(mach, "libcsb").run(cen, calls, chunked, small,
+                                             iterations=ITERATIONS)
+        out[scale] = (ds, csb)
+    return out
+
+
+def test_ablation_cache(benchmark):
+    out = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    banner(f"Ablation: L3 capacity sweep, {MATRIX} LOBPCG on Broadwell "
+           "(AMT advantage needs LLC room for pipelined reuse)")
+    emit(f"{'L3 scale':>9s}{'deepsparse (ms)':>17s}{'libcsb (ms)':>13s}"
+         f"{'advantage':>11s}")
+    adv = {}
+    for scale, (ds, csb) in out.items():
+        a = csb.time_per_iteration / ds.time_per_iteration
+        adv[scale] = a
+        emit(f"{scale:9.2f}{ds.time_per_iteration * 1e3:17.2f}"
+             f"{csb.time_per_iteration * 1e3:13.2f}{a:11.2f}")
+    # Shape: the advantage does not shrink when the LLC grows.
+    assert adv[4.0] >= adv[0.25] * 0.9
+    # DeepSparse keeps a lead at the nominal capacity.
+    assert adv[1.0] > 1.0

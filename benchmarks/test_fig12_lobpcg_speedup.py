@@ -1,0 +1,58 @@
+"""Fig. 12: LOBPCG speedups over libcsr, Broadwell and EPYC.
+
+Paper ranges — Broadwell: DeepSparse 1.8–3.0×, HPX 1.5–4.4×, Regent
+0.8–1.9× (slowdowns on a few smaller matrices).  EPYC: DeepSparse
+1.2–5.5×, HPX 1.7–7.5×, Regent 0.8–2.3× (degradation again on the
+smaller matrices).
+"""
+
+from benchmarks.common import banner, cell, emit, geomean, matrices
+
+VERSIONS = ["libcsb", "deepsparse", "hpx", "regent"]
+PAPER_RANGE = {
+    "broadwell": {"deepsparse": (1.8, 3.0), "hpx": (1.5, 4.4),
+                  "regent": (0.8, 1.9)},
+    "epyc": {"deepsparse": (1.2, 5.5), "hpx": (1.7, 7.5),
+             "regent": (0.8, 2.3)},
+}
+
+
+def run_fig12():
+    return {
+        mach: {m: cell(mach, m, "lobpcg") for m in matrices()}
+        for mach in ("broadwell", "epyc")
+    }
+
+
+def test_fig12_lobpcg_speedup(benchmark):
+    data = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    stats = {}
+    for mach, cells in data.items():
+        banner(f"Fig. 12 ({mach}): LOBPCG speedup over libcsr "
+               f"(paper ranges: {PAPER_RANGE[mach]})")
+        emit(f"{'matrix':20s}" + "".join(f"{v:>12s}" for v in VERSIONS))
+        per = {v: [] for v in VERSIONS}
+        for mat, c in cells.items():
+            row = f"{mat:20s}"
+            for v in VERSIONS:
+                s = c.speedup(v)
+                per[v].append(s)
+                row += f"{s:12.2f}"
+            emit(row)
+        emit("range:   " + "  ".join(
+            f"{v} {min(per[v]):.2f}-{max(per[v]):.2f}x" for v in VERSIONS))
+        stats[mach] = per
+
+    for mach in ("broadwell", "epyc"):
+        per = stats[mach]
+        # Shape 1: DeepSparse and HPX beat libcsr on average.
+        assert geomean(per["deepsparse"]) > 1.1
+        assert geomean(per["hpx"]) > 1.1
+        # Shape 2: Regent is the weakest AMT and dips below 1 somewhere
+        # (its paper range starts at 0.8x).
+        assert geomean(per["regent"]) < max(
+            geomean(per["deepsparse"]), geomean(per["hpx"]))
+        assert min(per["regent"]) < 1.3
+    # Shape 3: DeepSparse and HPX improve moving to the manycore node.
+    for v in ("deepsparse", "hpx"):
+        assert max(stats["epyc"][v]) > max(stats["broadwell"][v]) * 0.9

@@ -1,0 +1,65 @@
+"""Fig. 9: Lanczos speedups over libcsr, Broadwell and EPYC.
+
+Paper: Broadwell max/avg — DeepSparse 2.3/1.5, HPX 4.3/2.2, Regent
+2.0/1.1.  EPYC — DeepSparse 6.5/3.3, HPX 9.9/4.9, Regent 2.7/1.6;
+"task parallel versions perform better when we go from a multicore
+(Broadwell) to a manycore (EPYC) architecture", with the majority of
+the speedup coming from the large matrices.
+"""
+
+from benchmarks.common import banner, cell, emit, geomean, matrices
+
+VERSIONS = ["libcsb", "deepsparse", "hpx", "regent"]
+PAPER_MAX = {
+    "broadwell": {"deepsparse": 2.3, "hpx": 4.3, "regent": 2.0},
+    "epyc": {"deepsparse": 6.5, "hpx": 9.9, "regent": 2.7},
+}
+
+
+def run_fig9():
+    return {
+        mach: {m: cell(mach, m, "lanczos") for m in matrices()}
+        for mach in ("broadwell", "epyc")
+    }
+
+
+def test_fig9_lanczos_speedup(benchmark):
+    data = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    stats = {}
+    for mach, cells in data.items():
+        banner(f"Fig. 9 ({mach}): Lanczos speedup over libcsr "
+               f"(paper max: {PAPER_MAX[mach]})")
+        emit(f"{'matrix':20s}" + "".join(f"{v:>12s}" for v in VERSIONS))
+        per = {v: [] for v in VERSIONS}
+        for mat, c in cells.items():
+            row = f"{mat:20s}"
+            for v in VERSIONS:
+                s = c.speedup(v)
+                per[v].append(s)
+                row += f"{s:12.2f}"
+            emit(row)
+        emit("max:     " + "  ".join(
+            f"{v} {max(per[v]):.2f}x" for v in VERSIONS))
+        emit("geomean: " + "  ".join(
+            f"{v} {geomean(per[v]):.2f}x" for v in VERSIONS))
+        stats[mach] = per
+
+    # Shape 1: DeepSparse and HPX beat libcsr on average on both nodes.
+    for mach in ("broadwell", "epyc"):
+        assert geomean(stats[mach]["deepsparse"]) > 1.1
+        assert geomean(stats[mach]["hpx"]) > 1.1
+    # Shape 2: manycore (EPYC) beats multicore — in the geomean for
+    # DeepSparse, and in the best case for both (the paper notes "the
+    # majority of which comes from the large matrices"; our small-
+    # matrix EPYC cells undershoot, see EXPERIMENTS.md).
+    assert geomean(stats["epyc"]["deepsparse"]) > \
+        geomean(stats["broadwell"]["deepsparse"])
+    for v in ("deepsparse", "hpx"):
+        assert max(stats["epyc"][v]) > max(stats["broadwell"][v])
+    # Shape 3: Regent trails the other AMTs and can lose to libcsr.
+    for mach in ("broadwell", "epyc"):
+        assert geomean(stats[mach]["regent"]) < \
+            geomean(stats[mach]["hpx"])
+    # Shape 4: the best speedups come from large matrices on EPYC.
+    assert max(stats["epyc"]["hpx"]) == max(
+        max(stats[m]["hpx"]) for m in stats)

@@ -1,0 +1,63 @@
+"""Future work (§6): HPX on distributed memory — strong scaling.
+
+The paper closes with "Future work will be in the direction of testing
+HPX in a distributed memory environment using large-scale sparse
+solvers."  This bench runs that experiment on the simulator: LOBPCG on
+the largest KKT matrix across 1–8 Broadwell nodes, on an
+InfiniBand-class fabric and on commodity 10 GbE.
+"""
+
+from repro.analysis.experiment import _trace
+from repro.distributed import (
+    DistributedHPXRuntime,
+    ethernet_cluster,
+    ib_cluster,
+)
+from repro.machine import broadwell
+from repro.matrices.suite import SUITE
+from repro.runtime.base import build_solver_dag
+from repro.tuning.blocksize import block_size_for_count
+
+from benchmarks.common import banner, emit
+
+MATRIX = "nlpkkt240"
+NODES = (1, 2, 4, 8)
+
+
+def run_scaling():
+    bs = block_size_for_count(SUITE[MATRIX].paper_rows, 96)
+    cen, calls, chunked, small = _trace(MATRIX, bs, "lobpcg", 8)
+    dag = build_solver_dag(cen, calls, chunked, small)
+    out = {}
+    for fabric, mk in (("ib", ib_cluster), ("10gbe", ethernet_cluster)):
+        for n in NODES:
+            out[(fabric, n)] = DistributedHPXRuntime(
+                mk(broadwell(), n)).execute(dag)
+    return out
+
+
+def test_future_work_distributed(benchmark):
+    out = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    banner(f"Future work (§6): distributed HPX, {MATRIX} LOBPCG, "
+           "strong scaling over Broadwell nodes")
+    emit(f"{'fabric':8s}{'nodes':>6s}{'t/iter (ms)':>13s}"
+         f"{'compute':>10s}{'halo':>9s}{'allreduce':>11s}"
+         f"{'speedup':>9s}{'efficiency':>12s}")
+    for fabric in ("ib", "10gbe"):
+        single = out[(fabric, 1)]
+        for n in NODES:
+            r = out[(fabric, n)]
+            emit(f"{fabric:8s}{n:6d}{r.time_per_iteration * 1e3:13.2f}"
+                 f"{r.compute_time * 1e3:10.2f}{r.halo_time * 1e3:9.2f}"
+                 f"{r.allreduce_time * 1e3:11.2f}"
+                 f"{r.speedup_over(single):9.2f}"
+                 f"{r.parallel_efficiency(single):12.2f}")
+    # Shape: IB scales (monotone speedup, sublinear efficiency);
+    # commodity Ethernet is communication-bound and scales far worse.
+    ib8 = out[("ib", 8)]
+    ib1 = out[("ib", 1)]
+    assert ib8.speedup_over(ib1) > 1.5
+    assert ib8.parallel_efficiency(ib1) < 0.8
+    eth8 = out[("10gbe", 8)]
+    assert eth8.time_per_iteration > ib8.time_per_iteration * 2
+    assert eth8.halo_time > eth8.compute_time  # comm-dominated

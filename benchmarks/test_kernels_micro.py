@@ -1,0 +1,84 @@
+"""Microbenchmarks of the executable kernels (real wall time).
+
+These time the NumPy kernel bodies themselves — the code the threaded
+runtime and eager solvers actually execute — rather than simulated
+costs.  They guard against performance regressions in the vectorized
+implementations (e.g. someone replacing the reduceat-based CSR SpMV
+with a Python loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import CSBMatrix, CSRMatrix, load_matrix
+from repro.kernels import spmm_block, xty_partial, xy_block
+
+
+@pytest.fixture(scope="module")
+def operands():
+    coo = load_matrix("Queen4147", scale=4096)
+    csr = CSRMatrix.from_coo(coo)
+    csb = CSBMatrix.from_coo(coo, 128)
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((coo.shape[0], 8))
+    return csr, csb, X
+
+
+def test_csr_spmv(benchmark, operands):
+    csr, _csb, X = operands
+    x = X[:, 0].copy()
+    out = np.zeros(csr.shape[0])
+    y = benchmark(csr.spmv, x, out)
+    np.testing.assert_allclose(y, csr.to_dense() @ x, atol=1e-9)
+
+
+def test_csr_spmm(benchmark, operands):
+    csr, _csb, X = operands
+    out = np.zeros_like(X)
+    Y = benchmark(csr.spmm, X, out)
+    assert Y.shape == X.shape
+
+
+def test_csb_spmm_full_sweep(benchmark, operands):
+    csr, csb, X = operands
+    out = np.zeros_like(X)
+    Y = benchmark(csb.spmm, X, out)
+    np.testing.assert_allclose(Y, csr.spmm(X), atol=1e-9)
+
+
+def test_csb_single_block_task(benchmark, operands):
+    _csr, csb, X = operands
+    i, j = max(csb.nonempty_blocks(),
+               key=lambda ij: csb.block_nnz(*ij))
+    blk = csb.block(i, j)
+    cs, ce = csb.col_block_bounds(j)
+    rs, re = csb.row_block_bounds(i)
+    Xc = X[cs:ce]
+    Yc = np.zeros((re - rs, X.shape[1]))
+
+    def task():
+        Yc[:] = 0.0
+        spmm_block(blk, Xc, Yc)
+
+    benchmark(task)
+    assert np.abs(Yc).sum() > 0
+
+
+def test_xy_chunk(benchmark, operands):
+    _csr, _csb, X = operands
+    rng = np.random.default_rng(1)
+    Z = rng.standard_normal((8, 8))
+    Q = np.empty_like(X[:4096])
+    benchmark(xy_block, X[:4096], Z, Q)
+
+
+def test_xty_chunk(benchmark, operands):
+    _csr, _csb, X = operands
+    P = np.empty((8, 8))
+    benchmark(xty_partial, X[:4096], X[:4096], P)
+
+
+def test_csb_construction(benchmark):
+    coo = load_matrix("nlpkkt160", scale=8192)
+    csb = benchmark(CSBMatrix.from_coo, coo, 64)
+    assert csb.nnz == coo.canonical().nnz

@@ -1,0 +1,43 @@
+"""The §5.4 tuning heuristic: pick a block size without brute force.
+
+Sweeps the six block-count buckets for one matrix on both simulated
+nodes, prints the per-bucket times, and compares the winner to the
+paper's rule of thumb (DeepSparse: 32–63 on Broadwell, 64–127 on EPYC).
+
+Run:  python examples/block_size_tuning.py
+"""
+
+from repro.analysis.experiment import run_version
+from repro.matrices.suite import SUITE
+from repro.tuning import (
+    candidate_block_sizes,
+    recommend_block_count,
+)
+
+MATRIX = "nlpkkt160"
+RUNTIME = "deepsparse"
+
+
+def main():
+    spec = SUITE[MATRIX]
+    print(f"tuning {RUNTIME} LOBPCG on {MATRIX} "
+          f"({spec.paper_rows:,} rows at paper scale)\n")
+    for machine in ("broadwell", "epyc"):
+        print(f"-- {machine} --")
+        times = {}
+        for bucket, bs in candidate_block_sizes(spec.paper_rows).items():
+            mid = (bucket[0] + bucket[1]) // 2
+            res = run_version(machine, MATRIX, "lobpcg", RUNTIME,
+                              block_count=mid, iterations=1)
+            times[bucket] = res.time_per_iteration
+            print(f"  block count {bucket[0]:3d}-{bucket[1]:<3d} "
+                  f"(block size {bs:9,d}): "
+                  f"{res.time_per_iteration * 1e3:9.2f} ms/iter")
+        best = min(times, key=times.get)
+        rule = recommend_block_count(RUNTIME, machine)
+        print(f"  measured best bucket : {best[0]}-{best[1]}")
+        print(f"  paper rule of thumb  : {rule[0]}-{rule[1]}\n")
+
+
+if __name__ == "__main__":
+    main()

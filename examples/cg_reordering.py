@@ -1,0 +1,55 @@
+"""Beyond the paper: CG linear solves, preconditioning, reordering.
+
+Three library extensions on one workflow — solving a shifted linear
+system from the nlpkkt family:
+
+1. RCM-reorder a scrambled matrix to recover its band (fewer non-empty
+   CSB blocks ⇒ fewer SpMM tasks),
+2. solve ``A x = b`` with the task-decomposable CG solver,
+3. compute the smallest eigenpairs with Jacobi-preconditioned LOBPCG
+   and compare iteration counts against the unpreconditioned run.
+
+Run:  python examples/cg_reordering.py
+"""
+
+import numpy as np
+
+from repro.matrices import CSBMatrix, load_matrix
+from repro.matrices.reorder import bandwidth, permute, rcm_ordering
+from repro.solvers import cg, lobpcg
+
+
+def main():
+    coo = load_matrix("Flan_1565", scale=16384)
+    rng = np.random.default_rng(0)
+
+    # -- 1. scramble, then recover the band with RCM -------------------
+    scrambled = permute(coo, rng.permutation(coo.shape[0]))
+    recovered = permute(scrambled, rcm_ordering(scrambled))
+    for label, m in [("original", coo), ("scrambled", scrambled),
+                     ("RCM-recovered", recovered)]:
+        csb = CSBMatrix.from_coo(m, 64)
+        print(f"{label:15s} bandwidth {bandwidth(m):6d}, "
+              f"non-empty blocks {len(csb.nonempty_blocks()):5d} "
+              f"of {csb.nbr * csb.nbc}")
+
+    # -- 2. CG linear solve on the recovered matrix --------------------
+    A = CSBMatrix.from_coo(recovered, 64)
+    b = rng.standard_normal(A.shape[0])
+    res = cg(A, b, maxiter=400, tol=1e-10)
+    x = res.x[:, 0]
+    rr = np.linalg.norm(A.spmv(x) - b) / np.linalg.norm(b)
+    print(f"\nCG: converged={res.converged} in {res.iterations} "
+          f"iterations, relative residual {rr:.2e}")
+
+    # -- 3. Jacobi preconditioning for LOBPCG --------------------------
+    plain = lobpcg(A, n=4, maxiter=60, tol=1e-9)
+    prec = lobpcg(A, n=4, maxiter=60, tol=1e-9, precondition=True)
+    print(f"\nLOBPCG residual after {plain.iterations} iterations:")
+    print(f"  plain          : {plain.history.final_residual:.3e}")
+    print(f"  Jacobi-precond : {prec.history.final_residual:.3e}")
+    print("  eigenvalues    :", np.round(prec.eigenvalues, 6))
+
+
+if __name__ == "__main__":
+    main()

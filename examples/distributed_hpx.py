@@ -1,0 +1,48 @@
+"""The paper's future work, prototyped: HPX on distributed memory.
+
+Strong-scales LOBPCG on nlpkkt240 across 1–8 simulated Broadwell
+nodes, comparing an InfiniBand-class fabric against commodity 10 GbE —
+the question §6 leaves open is precisely where communication eats the
+intra-node AMT gains.
+
+Run:  python examples/distributed_hpx.py
+"""
+
+from repro.analysis.experiment import _trace
+from repro.distributed import (
+    DistributedHPXRuntime,
+    ethernet_cluster,
+    ib_cluster,
+)
+from repro.machine import broadwell
+from repro.matrices.suite import SUITE
+from repro.runtime.base import build_solver_dag
+from repro.tuning.blocksize import block_size_for_count
+
+MATRIX = "nlpkkt240"
+
+
+def main():
+    spec = SUITE[MATRIX]
+    bs = block_size_for_count(spec.paper_rows, 96)
+    cen, calls, chunked, small = _trace(MATRIX, bs, "lobpcg", 8)
+    dag = build_solver_dag(cen, calls, chunked, small)
+    print(f"{MATRIX}: {spec.paper_rows:,} rows, {cen.nnz:,} nonzeros, "
+          f"{len(dag)} tasks/iteration\n")
+    for label, mk in (("InfiniBand", ib_cluster),
+                      ("10 GbE", ethernet_cluster)):
+        print(f"-- {label} --")
+        single = None
+        for n in (1, 2, 4, 8):
+            r = DistributedHPXRuntime(mk(broadwell(), n)).execute(dag)
+            single = single or r
+            print(f"  {n} node(s): {r.time_per_iteration * 1e3:8.2f} "
+                  f"ms/iter (compute {r.compute_time * 1e3:8.2f}, "
+                  f"halo {r.halo_time * 1e3:7.2f}), "
+                  f"speedup {r.speedup_over(single):5.2f}x, "
+                  f"efficiency {r.parallel_efficiency(single):5.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the build environment ships an older setuptools
+without PEP 660 editable-install support, so `pip install -e .` goes
+through this file.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Result reduction and rendering: the paper's tables and plots as text.
+
+Benchmarks produce :class:`~repro.sim.engine.RunResult` objects; this
+package turns collections of them into the normalized-miss and speedup
+series of Figs. 8–12, ASCII bar/table renderings, and Gantt text for
+the execution flow graphs of Figs. 10/13.
+"""
+
+from repro.analysis.metrics import (
+    SolverComparison,
+    compare_versions,
+    speedup_table,
+    normalized_miss_table,
+)
+from repro.analysis.tables import render_table, render_bars
+from repro.analysis.gantt import render_flow
+
+__all__ = [
+    "SolverComparison",
+    "compare_versions",
+    "speedup_table",
+    "normalized_miss_table",
+    "render_table",
+    "render_bars",
+    "render_flow",
+]

@@ -1,0 +1,122 @@
+"""Experiment driver: one call per (machine, matrix, solver) cell.
+
+Benchmarks for Figs. 8–14 all need the same wiring — full-scale block
+census, solver trace, per-version DAG, runtime execution — so it lives
+here once.  Censuses and traces are memoized per process: a sweep over
+versions or block counts regenerates nothing.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Sequence
+
+from repro.analysis.metrics import SolverComparison
+from repro.machine.presets import get_machine
+from repro.matrices.census import census_for
+from repro.matrices.suite import SUITE
+from repro.runtime import (
+    BSPRuntime,
+    DeepSparseRuntime,
+    HPXRuntime,
+    RegentRuntime,
+    libcsr_partitions,
+)
+from repro.solvers import lanczos_trace, lobpcg_trace
+from repro.tuning.blocksize import block_size_for_count
+
+__all__ = ["run_cell", "run_version", "ALL_VERSIONS", "DEFAULT_WIDTHS"]
+
+ALL_VERSIONS = ("libcsr", "libcsb", "deepsparse", "hpx", "regent")
+
+#: Paper vector-block widths: LOBPCG blocks have 8–16 columns.
+DEFAULT_WIDTHS = {"lobpcg": 8, "lanczos": 20}  # lanczos: Krylov basis size
+
+
+@lru_cache(maxsize=256)
+def _census(matrix: str, block_size: int):
+    return census_for(SUITE[matrix], block_size)
+
+
+@lru_cache(maxsize=256)
+def _trace(matrix: str, block_size: int, solver: str, width: int):
+    cen = _census(matrix, block_size)
+    if solver == "lobpcg":
+        return (cen,) + lobpcg_trace(cen, n=width)
+    if solver == "lanczos":
+        return (cen,) + lanczos_trace(cen, k=width)
+    raise ValueError(f"unknown solver {solver!r}")
+
+
+def _make_runtime(version: str, machine, first_touch: bool, seed: int,
+                  **overrides):
+    if version == "libcsr":
+        return BSPRuntime(machine, "libcsr", first_touch, seed)
+    if version == "libcsb":
+        return BSPRuntime(machine, "libcsb", first_touch, seed)
+    if version == "deepsparse":
+        return DeepSparseRuntime(machine, first_touch, seed, **overrides)
+    if version == "hpx":
+        return HPXRuntime(machine, first_touch, seed, **overrides)
+    if version == "regent":
+        return RegentRuntime(machine, first_touch, seed, **overrides)
+    raise ValueError(f"unknown version {version!r}")
+
+
+def run_version(
+    machine_name: str,
+    matrix: str,
+    solver: str,
+    version: str,
+    block_count: int = 64,
+    iterations: int = 2,
+    width: int = None,
+    first_touch: bool = True,
+    seed: int = 0,
+    options=None,
+    **runtime_overrides,
+):
+    """Run one solver version and return its :class:`RunResult`.
+
+    ``libcsr`` ignores ``block_count`` — its granularity is one row
+    chunk per core, per the MKL/CSR baseline definition.
+    """
+    machine = get_machine(machine_name)
+    spec = SUITE[matrix]
+    if solver not in DEFAULT_WIDTHS:
+        raise ValueError(f"unknown solver {solver!r}")
+    width = width or DEFAULT_WIDTHS[solver]
+    if version == "libcsr":
+        bs = libcsr_partitions(machine, spec.paper_rows)
+    else:
+        bs = block_size_for_count(spec.paper_rows, block_count)
+    cen, calls, chunked, small = _trace(matrix, bs, solver, width)
+    rt = _make_runtime(version, machine, first_touch, seed,
+                       **runtime_overrides)
+    if options is not None:
+        rt.options = options
+    return rt.run(cen, calls, chunked, small, iterations=iterations)
+
+
+def run_cell(
+    machine_name: str,
+    matrix: str,
+    solver: str,
+    block_count: int = 64,
+    iterations: int = 2,
+    width: int = None,
+    versions: Sequence[str] = ALL_VERSIONS,
+    first_touch: bool = True,
+) -> SolverComparison:
+    """All requested versions of one evaluation cell, libcsr included."""
+    versions = list(versions)
+    if "libcsr" not in versions:
+        versions = ["libcsr"] + versions
+    results: Dict[str, object] = {}
+    for v in versions:
+        results[v] = run_version(
+            machine_name, matrix, solver, v,
+            block_count=block_count, iterations=iterations,
+            width=width, first_touch=first_touch,
+        )
+    return SolverComparison(matrix, solver, machine_name, results)

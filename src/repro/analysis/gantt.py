@@ -1,0 +1,34 @@
+"""Flow-graph rendering helpers (Figs. 10 and 13 as text).
+
+Wraps :meth:`repro.sim.flowgraph.FlowGraph.to_gantt` with the summary
+statistics the paper's flow-graph discussion draws on: per-kernel
+envelopes, overlap fraction (pipelining signature), and utilization.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import RunResult
+
+__all__ = ["render_flow"]
+
+
+def render_flow(result: RunResult, width: int = 90,
+                max_cores: int = 16) -> str:
+    """Gantt + kernel-envelope summary for one run."""
+    flow = result.flow
+    lines = [
+        f"{result.policy} on {result.machine} "
+        f"({result.n_cores} cores, {len(flow)} task executions)",
+        flow.to_gantt(width=width, max_cores=max_cores),
+        "",
+        "kernel envelopes (ms):",
+    ]
+    for k, (lo, hi) in sorted(flow.kernel_envelopes().items(),
+                              key=lambda kv: kv[1]):
+        lines.append(f"  {k:12s} [{lo * 1e3:9.3f}, {hi * 1e3:9.3f}]")
+    lines.append(
+        f"kernel overlap fraction: {flow.kernel_overlap_fraction():.2f} "
+        "(0 = phased/BSP, higher = pipelined)"
+    )
+    lines.append(f"utilization: {flow.utilization(result.n_cores):.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Comparison metrics: speedups and normalized cache misses vs libcsr.
+
+All of the paper's evaluation plots normalize against the ``libcsr``
+baseline: "Cache misses were normalized with respect to that of libcsr,
+and speedups were calculated over libcsr."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.engine import RunResult
+
+__all__ = [
+    "SolverComparison",
+    "compare_versions",
+    "speedup_table",
+    "normalized_miss_table",
+]
+
+BASELINE = "libcsr"
+
+
+@dataclass
+class SolverComparison:
+    """All five versions of one (matrix, solver, machine) cell."""
+
+    matrix: str
+    solver: str
+    machine: str
+    results: Dict[str, RunResult]
+
+    def __post_init__(self):
+        if BASELINE not in self.results:
+            raise ValueError(f"comparison requires a {BASELINE} baseline")
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results[BASELINE]
+
+    def speedup(self, version: str) -> float:
+        """Speedup of a version over libcsr (>1 is faster)."""
+        return self.results[version].speedup_over(self.baseline)
+
+    def miss_reduction(self, version: str, level: int) -> float:
+        """k× fewer misses than libcsr at cache level 1, 2, or 3."""
+        if level not in (1, 2, 3):
+            raise ValueError("cache level must be 1, 2 or 3")
+        norm = self.results[version].counters.normalized_misses(
+            self.baseline.counters
+        )[level - 1]
+        return 1.0 / norm if norm > 0 else float("inf")
+
+    def versions(self):
+        return [v for v in self.results if v != BASELINE]
+
+
+def compare_versions(matrix, solver, machine, results) -> SolverComparison:
+    """Convenience constructor with validation."""
+    return SolverComparison(matrix, solver, machine, dict(results))
+
+
+def speedup_table(comparisons) -> Dict[str, Dict[str, float]]:
+    """``matrix -> {version: speedup}`` over a list of comparisons."""
+    out: Dict[str, Dict[str, float]] = {}
+    for c in comparisons:
+        out[c.matrix] = {v: c.speedup(v) for v in c.versions()}
+    return out
+
+
+def normalized_miss_table(
+    comparisons, level: int
+) -> Dict[str, Dict[str, float]]:
+    """``matrix -> {version: k× fewer misses}`` at one cache level."""
+    out: Dict[str, Dict[str, float]] = {}
+    for c in comparisons:
+        out[c.matrix] = {
+            v: c.miss_reduction(v, level) for v in c.versions()
+        }
+    return out

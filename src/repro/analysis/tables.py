@@ -1,0 +1,57 @@
+"""ASCII table and bar renderers for benchmark output.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a
+terminal and in the captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_bars"]
+
+
+def render_table(
+    rows: Dict[str, Dict[str, float]],
+    columns: Sequence[str] = None,
+    fmt: str = "{:.2f}",
+    row_header: str = "matrix",
+) -> str:
+    """Render ``row -> {column: value}`` as an aligned text table."""
+    if columns is None:
+        columns = sorted({c for r in rows.values() for c in r})
+    name_w = max([len(row_header)] + [len(r) for r in rows]) + 2
+    col_w = max([10] + [len(c) + 2 for c in columns])
+    out: List[str] = []
+    out.append(row_header.ljust(name_w) + "".join(
+        c.rjust(col_w) for c in columns
+    ))
+    out.append("-" * (name_w + col_w * len(columns)))
+    for rname, vals in rows.items():
+        cells = []
+        for c in columns:
+            v = vals.get(c)
+            cells.append(("-" if v is None else fmt.format(v)).rjust(col_w))
+        out.append(rname.ljust(name_w) + "".join(cells))
+    return "\n".join(out)
+
+
+def render_bars(
+    values: Dict[str, float],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    vmax: float = None,
+) -> str:
+    """Render a label→value mapping as horizontal ASCII bars."""
+    if not values:
+        return "(empty)"
+    if vmax is None:
+        vmax = max(values.values()) or 1.0
+    name_w = max(len(k) for k in values) + 2
+    out = []
+    for k, v in values.items():
+        n = max(0, min(width, int(round(v / vmax * width))))
+        out.append(f"{k.ljust(name_w)}|{'#' * n}{' ' * (width - n)}| "
+                   f"{fmt.format(v)}")
+    return "\n".join(out)

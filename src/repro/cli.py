@@ -1,0 +1,173 @@
+"""Command-line interface: run evaluation cells without writing code.
+
+::
+
+    python -m repro solve   --matrix nlpkkt160 --solver lobpcg
+    python -m repro compare --matrix nlpkkt240 --solver lanczos \\
+                            --machine epyc --block-count 96
+    python -m repro tune    --matrix Queen4147 --runtime deepsparse \\
+                            --machine broadwell
+    python -m repro suite
+
+Everything prints the same tables the benchmarks produce; see
+``--help`` on each subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Task-parallel sparse-solver evaluation (ICPP '21 "
+                    "reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("suite", help="list the Table 1 matrix suite")
+
+    s = sub.add_parser("solve", help="eagerly solve one suite matrix")
+    s.add_argument("--matrix", required=True)
+    s.add_argument("--solver", choices=["lanczos", "lobpcg", "cg"],
+                   default="lobpcg")
+    s.add_argument("--scale", type=int, default=8192,
+                   help="suite reduction factor (default 8192)")
+    s.add_argument("--block-size", type=int, default=128)
+    s.add_argument("--nev", type=int, default=4,
+                   help="eigenpairs (lobpcg) / basis size (lanczos)")
+    s.add_argument("--maxiter", type=int, default=80)
+    s.add_argument("--precondition", action="store_true")
+
+    s = sub.add_parser("compare",
+                       help="simulate the five solver versions at "
+                            "paper scale")
+    s.add_argument("--matrix", required=True)
+    s.add_argument("--solver", choices=["lanczos", "lobpcg"],
+                   default="lobpcg")
+    s.add_argument("--machine", choices=["broadwell", "epyc"],
+                   default="broadwell")
+    s.add_argument("--block-count", type=int, default=48)
+    s.add_argument("--iterations", type=int, default=2)
+
+    s = sub.add_parser("tune", help="sweep the §5.4 block-count buckets")
+    s.add_argument("--matrix", required=True)
+    s.add_argument("--runtime",
+                   choices=["deepsparse", "hpx", "regent"],
+                   default="deepsparse")
+    s.add_argument("--machine", choices=["broadwell", "epyc"],
+                   default="broadwell")
+    s.add_argument("--solver", choices=["lanczos", "lobpcg"],
+                   default="lobpcg")
+    return p
+
+
+def _cmd_suite(_args) -> int:
+    from repro.matrices.suite import SUITE, SUITE_ORDER
+
+    print(f"{'matrix':20s}{'#rows':>13s}{'#nonzeros':>15s}"
+          f"{'family':>9s}{'sym':>5s}{'bin':>5s}")
+    for name in SUITE_ORDER:
+        sp = SUITE[name]
+        print(f"{name:20s}{sp.paper_rows:13,d}{sp.paper_nnz:15,d}"
+              f"{sp.family:>9s}{'y' if sp.symmetric else 'n':>5s}"
+              f"{'y' if sp.binary else 'n':>5s}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.matrices import CSBMatrix, load_matrix
+    from repro.solvers import cg, lanczos, lobpcg
+
+    coo = load_matrix(args.matrix, scale=args.scale)
+    csb = CSBMatrix.from_coo(coo, args.block_size)
+    print(f"{args.matrix} (scaled): {csb.shape[0]} rows, "
+          f"{csb.nnz} nonzeros, {csb.nbr}x{csb.nbc} blocks")
+    if args.solver == "lanczos":
+        res = lanczos(csb, k=max(args.nev * 4, 10))
+        print("extreme eigenvalues:",
+              np.round([res.eigenvalues[0], res.eigenvalues[-1]], 8))
+        print(f"iterations: {res.iterations}")
+    elif args.solver == "lobpcg":
+        res = lobpcg(csb, n=args.nev, maxiter=args.maxiter,
+                     precondition=args.precondition)
+        print("smallest eigenvalues:", np.round(res.eigenvalues, 8))
+        print(f"iterations: {res.iterations}, converged: {res.converged}, "
+              f"residual: {res.history.final_residual:.3e}")
+    else:
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(csb.shape[0])
+        res = cg(csb, b, maxiter=args.maxiter)
+        x = res.x[:, 0]
+        rr = np.linalg.norm(csb.spmv(x) - b) / np.linalg.norm(b)
+        print(f"CG: {res.iterations} iterations, converged: "
+              f"{res.converged}, relative residual {rr:.3e}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.experiment import run_cell
+
+    cell = run_cell(args.machine, args.matrix, args.solver,
+                    block_count=args.block_count,
+                    iterations=args.iterations)
+    base = cell.results["libcsr"]
+    print(f"{args.solver} on {args.machine}, {args.matrix} at paper "
+          f"scale, block count {args.block_count}:")
+    print(f"{'version':12s}{'t/iter (ms)':>13s}{'speedup':>9s}"
+          f"{'L1':>7s}{'L2':>7s}{'L3':>7s}")
+    for v, r in cell.results.items():
+        cols = ""
+        if v != "libcsr":
+            cols = "".join(
+                f"{cell.miss_reduction(v, l):7.2f}" for l in (1, 2, 3)
+            )
+        print(f"{v:12s}{r.time_per_iteration * 1e3:13.2f}"
+              f"{r.speedup_over(base):9.2f}{cols}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.analysis.experiment import run_version
+    from repro.matrices.suite import SUITE
+    from repro.tuning import candidate_block_sizes, recommend_block_count
+
+    spec = SUITE[args.matrix]
+    times = {}
+    for bucket, _bs in candidate_block_sizes(spec.paper_rows).items():
+        mid = (bucket[0] + bucket[1]) // 2
+        res = run_version(args.machine, args.matrix, args.solver,
+                          args.runtime, block_count=mid, iterations=1)
+        times[bucket] = res.time_per_iteration
+        print(f"block count {bucket[0]:3d}-{bucket[1]:<3d}: "
+              f"{res.time_per_iteration * 1e3:9.2f} ms/iter")
+    best = min(times, key=times.get)
+    print(f"best bucket: {best[0]}-{best[1]}")
+    try:
+        rule = recommend_block_count(args.runtime, args.machine)
+        print(f"paper rule of thumb: {rule[0]}-{rule[1]}")
+    except KeyError:
+        pass
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "suite": _cmd_suite,
+        "solve": _cmd_solve,
+        "compare": _cmd_compare,
+        "tune": _cmd_tune,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

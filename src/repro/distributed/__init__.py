@@ -1,0 +1,22 @@
+"""Distributed-memory extension (the paper's stated future work).
+
+§6: "Future work will be in the direction of testing HPX in a
+distributed memory environment using large-scale sparse solvers."
+This package prototypes exactly that experiment on the simulator: the
+CSB row-block partition extends across cluster nodes (HPX's global
+address space maps chunks to localities), each node executes its local
+task subgraph under the HPX scheduler, and cross-node dependences
+become halo exchanges and allreduces priced by a latency/bandwidth
+network model.
+"""
+
+from repro.distributed.cluster import ClusterSpec, ethernet_cluster, ib_cluster
+from repro.distributed.hpx_dist import DistributedHPXRuntime, DistributedResult
+
+__all__ = [
+    "ClusterSpec",
+    "ethernet_cluster",
+    "ib_cluster",
+    "DistributedHPXRuntime",
+    "DistributedResult",
+]

@@ -1,0 +1,62 @@
+"""Cluster model: N identical nodes joined by a latency/bandwidth link.
+
+The alpha-beta (Hockney) model prices a message of ``b`` bytes at
+``latency + b / bandwidth``; collectives over P nodes pay a
+``ceil(log2 P)``-deep tree.  Good enough for the question the paper's
+future work poses — where does inter-node communication eat the
+intra-node AMT gains?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.topology import MachineSpec
+
+__all__ = ["ClusterSpec", "ethernet_cluster", "ib_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N copies of one node joined by a uniform interconnect."""
+
+    node: MachineSpec
+    n_nodes: int
+    link_latency: float       # seconds per message
+    link_bandwidth: float     # bytes per second per node
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if self.link_bandwidth <= 0 or self.link_latency < 0:
+            raise ValueError("invalid interconnect parameters")
+
+    # ------------------------------------------------------------------
+    def message_time(self, nbytes: float) -> float:
+        """Point-to-point transfer time (alpha-beta model)."""
+        return self.link_latency + nbytes / self.link_bandwidth
+
+    def allreduce_time(self, nbytes: float) -> float:
+        """Tree allreduce of an ``nbytes`` payload across all nodes."""
+        if self.n_nodes == 1:
+            return 0.0
+        depth = math.ceil(math.log2(self.n_nodes))
+        return 2 * depth * self.message_time(nbytes)
+
+    def barrier_time(self) -> float:
+        if self.n_nodes == 1:
+            return 0.0
+        return 2 * math.ceil(math.log2(self.n_nodes)) * self.link_latency
+
+
+def ib_cluster(node: MachineSpec, n_nodes: int) -> ClusterSpec:
+    """InfiniBand-class fabric: ~1.5 µs, ~12 GB/s per node."""
+    return ClusterSpec(node, n_nodes, link_latency=1.5e-6,
+                       link_bandwidth=12e9)
+
+
+def ethernet_cluster(node: MachineSpec, n_nodes: int) -> ClusterSpec:
+    """Commodity 10 GbE: ~20 µs, ~1.1 GB/s per node."""
+    return ClusterSpec(node, n_nodes, link_latency=20e-6,
+                       link_bandwidth=1.1e9)

@@ -1,0 +1,180 @@
+"""Distributed HPX execution: local HPX subgraphs + halo exchanges.
+
+Row blocks are distributed contiguously across localities (HPX's
+global address space); each node runs the HPX scheduler over the tasks
+whose *output* chunks it owns, exactly as on one node.  Cross-node data
+movement is priced per iteration:
+
+* **halo exchange** — every (input chunk, consumer node) pair where the
+  chunk is homed elsewhere is one message (chunks are cached per
+  iteration, so a chunk is fetched once per consumer node, not per
+  task);
+* **reductions** — every XTY/DOT reduce whose partials span several
+  nodes is an allreduce of the reduced payload;
+* **iteration barrier** — the convergence check that already barriers
+  single-node iterations (§4) becomes a tree barrier.
+
+Communication is conservatively not overlapped with computation, so
+this is a lower bound on scaling — the right starting point for the
+"is the distributed extension worth it?" question the paper leaves
+open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.dag import TaskDAG
+from repro.graph.task import Task
+from repro.machine.memory import MemoryModel
+from repro.runtime.base import Runtime
+from repro.sim.engine import SimulationEngine
+from repro.sim.schedulers import HPXScheduler
+
+from repro.distributed.cluster import ClusterSpec
+
+__all__ = ["DistributedHPXRuntime", "DistributedResult"]
+
+
+@dataclass
+class DistributedResult:
+    """Per-iteration timing decomposition of a distributed run."""
+
+    n_nodes: int
+    time_per_iteration: float
+    compute_time: float       # slowest node's local makespan
+    halo_time: float
+    allreduce_time: float
+    halo_bytes: float
+    node_times: List[float]
+
+    def speedup_over(self, other: "DistributedResult") -> float:
+        return other.time_per_iteration / self.time_per_iteration
+
+    def parallel_efficiency(self, single: "DistributedResult") -> float:
+        return (single.time_per_iteration
+                / (self.time_per_iteration * self.n_nodes))
+
+
+class DistributedHPXRuntime(Runtime):
+    """HPX over a cluster: per-node simulation + network pricing."""
+
+    name = "hpx-dist"
+
+    def __init__(self, cluster: ClusterSpec, first_touch: bool = True,
+                 seed: int = 0, options=None, **hpx_kwargs):
+        super().__init__(cluster.node, first_touch, seed, options)
+        self.cluster = cluster
+        self.hpx_kwargs = hpx_kwargs
+
+    # ------------------------------------------------------------------
+    def _home_node(self, part, n_parts: int) -> int:
+        if part is None:
+            return 0
+        n = self.cluster.n_nodes
+        return min(n - 1, int(part) * n // max(1, n_parts))
+
+    def _task_node(self, task: Task, n_parts: int) -> int:
+        for h in task.writes:
+            if h.part is not None and not h.name.startswith("__"):
+                return self._home_node(h.part, n_parts)
+        for h in task.writes:
+            if h.part is not None:
+                return self._home_node(h.part, n_parts)
+        return 0
+
+    def _local_subdag(self, dag: TaskDAG, tids: List[int]) -> TaskDAG:
+        """Restriction of the DAG to one node's tasks.
+
+        Cross-node edges are dropped: their data arrives via the halo
+        exchange charged separately (BSP-style per-iteration halo, the
+        standard distributed SpMV structure).
+        """
+        sub = TaskDAG()
+        remap: Dict[int, int] = {}
+        for tid in tids:
+            t = dag.tasks[tid]
+            clone = Task(-1, t.kernel, t.reads, t.writes, t.shape,
+                         t.params, t.iteration, t.seq)
+            remap[tid] = sub.add_task(clone)
+        for tid in tids:
+            for v in dag.succ[tid]:
+                if v in remap:
+                    sub.add_edge(remap[tid], remap[v])
+        sub.n_partitions = getattr(dag, "n_partitions", None)
+        sub.matrix_name = getattr(dag, "matrix_name", None)
+        sub.matrix_nbc = getattr(dag, "matrix_nbc", None)
+        return sub
+
+    # ------------------------------------------------------------------
+    def execute(self, dag: TaskDAG, iterations: int = 1
+                ) -> DistributedResult:
+        n_parts = getattr(dag, "n_partitions", None) or 1
+        cl = self.cluster
+        # -- partition tasks by owning node ----------------------------
+        by_node: Dict[int, List[int]] = {k: [] for k in range(cl.n_nodes)}
+        node_of = {}
+        for t in dag.tasks:
+            k = self._task_node(t, n_parts)
+            node_of[t.tid] = k
+            by_node[k].append(t.tid)
+
+        # -- halo census: (chunk, consumer node) pairs ------------------
+        halo_bytes = 0.0
+        halo_msgs_per_node = [0] * cl.n_nodes
+        halo_bytes_per_node = [0.0] * cl.n_nodes
+        seen = set()
+        for t in dag.tasks:
+            k = node_of[t.tid]
+            for h in t.reads:
+                if h.part is None or h.name.startswith("__"):
+                    continue
+                home = self._home_node(h.part, n_parts)
+                if home != k and (h.name, h.part, k) not in seen:
+                    seen.add((h.name, h.part, k))
+                    halo_bytes += h.nbytes
+                    halo_msgs_per_node[k] += 1
+                    halo_bytes_per_node[k] += h.nbytes
+        halo_time = max(
+            (m * cl.link_latency + b / cl.link_bandwidth
+             for m, b in zip(halo_msgs_per_node, halo_bytes_per_node)),
+            default=0.0,
+        )
+
+        # -- reduction census: reduces whose partials span nodes --------
+        allreduce_time = 0.0
+        for t in dag.tasks:
+            if t.kernel in ("XTY_REDUCE", "DOT_REDUCE"):
+                srcs = {self._home_node(h.part, n_parts)
+                        for h in t.reads if h.part is not None}
+                if len(srcs) > 1:
+                    payload = max((h.nbytes for h in t.writes), default=8)
+                    allreduce_time += cl.allreduce_time(payload)
+
+        # -- per-node local execution under the HPX scheduler -----------
+        node_times = []
+        for k in range(cl.n_nodes):
+            sub = self._local_subdag(dag, by_node[k])
+            if len(sub) == 0:
+                node_times.append(0.0)
+                continue
+            engine = SimulationEngine(cl.node,
+                                      first_touch=self.first_touch,
+                                      seed=self.seed + k)
+            res = engine.run(sub, HPXScheduler(**self.hpx_kwargs),
+                             iterations=1, record_flow=False)
+            node_times.append(res.total_time)
+
+        compute = max(node_times) if node_times else 0.0
+        per_iter = (compute + halo_time + allreduce_time
+                    + cl.barrier_time())
+        return DistributedResult(
+            n_nodes=cl.n_nodes,
+            time_per_iteration=per_iter,
+            compute_time=compute,
+            halo_time=halo_time,
+            allreduce_time=allreduce_time,
+            halo_bytes=halo_bytes,
+            node_times=node_times,
+        )

@@ -1,0 +1,41 @@
+"""Task-dependency-graph infrastructure (the DeepSparse PCU analogue).
+
+The paper's DeepSparse front end has two stages: the *Task Identifier*
+parses solver code written as GraphBLAS/BLAS-style function calls into
+a function-call-level dependency graph, and the *Task Dependency Graph
+Generator* (TDGG) decomposes each call into fine-grained tasks using
+the CSB block census and wires read-after-write / write-after-read /
+write-after-write dependencies between them.
+
+Here the same split is:
+
+* :class:`~repro.graph.trace.TraceRecorder` — records the solver's
+  primitive calls (the Task Identifier),
+* :class:`~repro.graph.builder.DAGBuilder` — expands the trace into a
+  :class:`~repro.graph.dag.TaskDAG` of per-chunk tasks (the TDGG),
+  honouring the paper's choices: skipping empty blocks, and
+  dependency-based vs. reduction-based SpMV/SpMM output.
+"""
+
+from repro.graph.task import DataHandle, Task
+from repro.graph.dag import TaskDAG
+from repro.graph.trace import PrimitiveCall, TraceRecorder
+from repro.graph.builder import DAGBuilder, BuildOptions
+from repro.graph.analyze import (
+    critical_path_length,
+    parallelism_profile,
+    max_width,
+)
+
+__all__ = [
+    "DataHandle",
+    "Task",
+    "TaskDAG",
+    "PrimitiveCall",
+    "TraceRecorder",
+    "DAGBuilder",
+    "BuildOptions",
+    "critical_path_length",
+    "parallelism_profile",
+    "max_width",
+]

@@ -1,0 +1,47 @@
+"""Structural DAG analyses: span, width, degree-of-parallelism profile.
+
+These feed the block-size discussion of §5.4: the degree of parallelism
+exposed at a block size is the DAG's level-width profile, and the
+trade-off against per-task overhead is what the tuning heuristic
+navigates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.graph.dag import TaskDAG
+
+__all__ = [
+    "critical_path_length",
+    "parallelism_profile",
+    "max_width",
+    "average_parallelism",
+]
+
+
+def critical_path_length(dag: TaskDAG) -> int:
+    """Unit-weight span — number of tasks on the longest chain."""
+    return int(dag.critical_path())
+
+
+def parallelism_profile(dag: TaskDAG) -> List[int]:
+    """Width of each ASAP level: how many tasks *could* run together."""
+    levels = dag.levels()
+    if not levels:
+        return []
+    counts = Counter(levels)
+    return [counts[i] for i in range(max(levels) + 1)]
+
+
+def max_width(dag: TaskDAG) -> int:
+    """Peak degree of parallelism over all levels."""
+    prof = parallelism_profile(dag)
+    return max(prof) if prof else 0
+
+
+def average_parallelism(dag: TaskDAG) -> float:
+    """Work/span ratio under unit task weights."""
+    span = critical_path_length(dag)
+    return len(dag) / span if span else 0.0

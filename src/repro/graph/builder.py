@@ -1,0 +1,460 @@
+"""The Task Dependency Graph Generator (TDGG).
+
+Decomposes a function-call-level trace into fine-grained tasks:
+
+* 2-D kernels (SpMV/SpMM) get one task per **non-empty CSB block**
+  (Fig. 1), with the *dependency-based* output policy by default —
+  tasks updating the same output row chunk are chained, avoiding the
+  reduction buffers (§3, adopted in all three frameworks) — or the
+  *reduction-based* policy (private partial buffers + a reduce task per
+  row chunk) for the Fig. 7 ablation.
+* 1-D kernels (XY, XTY, AXPY, …) get one task per row-block chunk;
+  XTY and DOT produce per-chunk partials plus a final reduce task
+  (Fig. 2).
+* Small dense ops (Rayleigh–Ritz, tiny eigensolves) stay single tasks.
+
+Dependencies are wired by last-writer/readers tracking per
+:class:`~repro.graph.task.DataHandle`: RAW, WAR and WAW hazards all
+become edges, which is exactly what OpenMP ``depend`` clauses, HPX
+futures, and Regent privilege analysis each compute for the same
+program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.dag import TaskDAG
+from repro.graph.task import DataHandle, Task
+from repro.graph.trace import PrimitiveCall
+from repro.matrices.csb import CSBMatrix
+
+__all__ = ["BuildOptions", "DAGBuilder"]
+
+_F8 = 8
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """Decomposition policy knobs (the paper's §5.1 optimizations).
+
+    Attributes
+    ----------
+    skip_empty:
+        Spawn SpMV/SpMM tasks only for non-empty CSB blocks (Fig. 6
+    	ablation flips this off: empty blocks still cost a task spawn).
+    spmm_mode:
+        ``"dependency"`` chains tasks on the output row chunk;
+        ``"reduction"`` gives each task a private partial buffer and
+        adds per-row reduce tasks (Fig. 7 ablation).
+    csr_storage:
+        The ``libcsr`` storage model: SpMV/SpMM gathers from the input
+        vector span the *whole* vector (CSR column indices are
+        unrestricted), instead of being confined to one block-column
+        chunk as in CSB.  Affects the gather span the cost model sees,
+        not the task census.
+    """
+
+    skip_empty: bool = True
+    spmm_mode: str = "dependency"
+    csr_storage: bool = False
+
+    def __post_init__(self):
+        if self.spmm_mode not in ("dependency", "reduction"):
+            raise ValueError(
+                f"spmm_mode must be 'dependency' or 'reduction', "
+                f"got {self.spmm_mode!r}"
+            )
+
+
+class DAGBuilder:
+    """Expands a primitive trace over one CSB matrix into a TaskDAG.
+
+    Parameters
+    ----------
+    csb:
+        The input matrix; its block census drives SpMV/SpMM task
+        creation and its row-block geometry partitions every vector.
+    matrix_name:
+        The operand name under which the solver trace refers to the
+        matrix (usually ``"A"``).
+    chunked:
+        ``name -> width`` for every row-partitioned operand (vector
+        blocks; width 1 for plain vectors).
+    small:
+        ``name -> (rows, cols)`` for unpartitioned small operands;
+        scalars are ``(1, 1)``.
+    options:
+        Decomposition policy.
+    """
+
+    def __init__(
+        self,
+        csb: CSBMatrix,
+        matrix_name: str = "A",
+        chunked: Dict[str, int] = None,
+        small: Dict[str, Tuple[int, int]] = None,
+        options: BuildOptions = None,
+    ):
+        self.csb = csb
+        self.matrix_name = matrix_name
+        self.chunked = dict(chunked or {})
+        self.small = dict(small or {})
+        self.options = options or BuildOptions()
+        self.np_ = csb.nbr
+        self._row_sizes = [
+            csb.row_block_bounds(i)[1] - csb.row_block_bounds(i)[0]
+            for i in range(self.np_)
+        ]
+        # Dependence state: last writer and readers-since-write per handle key.
+        self._last_writer: Dict[tuple, int] = {}
+        self._readers: Dict[tuple, List[int]] = {}
+        self._buf_counter = 0
+        # Per-row lists of non-empty block columns, precomputed once.
+        grid = csb.block_nnz_grid()
+        self._row_cols = [np.nonzero(grid[i])[0].tolist() for i in range(self.np_)]
+        self._grid = grid
+
+    # ------------------------------------------------------------------
+    # Handle constructors
+    # ------------------------------------------------------------------
+    def chunk_handle(self, name: str, i: int) -> DataHandle:
+        w = self.chunked[name]
+        return DataHandle(name, i, self._row_sizes[i] * w * _F8)
+
+    def small_handle(self, name: str) -> DataHandle:
+        r, c = self.small[name]
+        return DataHandle(name, None, r * c * _F8)
+
+    def matrix_handle(self, i: int, j: int) -> DataHandle:
+        bid = i * self.csb.nbc + j
+        nnz = int(self._grid[i, j])
+        return DataHandle(self.matrix_name, bid, nnz * (_F8 + 8))
+
+    # ------------------------------------------------------------------
+    # Dependence bookkeeping
+    # ------------------------------------------------------------------
+    def _key(self, h: DataHandle) -> tuple:
+        return (h.name, h.part)
+
+    def _note_read(self, dag: TaskDAG, tid: int, h: DataHandle) -> None:
+        if h.name == self.matrix_name:
+            return  # the matrix is never written: no edges possible
+        k = self._key(h)
+        w = self._last_writer.get(k)
+        if w is not None:
+            dag.add_edge(w, tid)
+        self._readers.setdefault(k, []).append(tid)
+
+    def _note_write(self, dag: TaskDAG, tid: int, h: DataHandle) -> None:
+        k = self._key(h)
+        w = self._last_writer.get(k)
+        if w is not None:
+            dag.add_edge(w, tid)  # WAW
+        for r in self._readers.get(k, ()):
+            dag.add_edge(r, tid)  # WAR
+        self._last_writer[k] = tid
+        self._readers[k] = []
+
+    def _emit(
+        self, dag: TaskDAG, kernel, reads, writes, shape, params, call, seq
+    ) -> int:
+        t = Task(
+            -1, kernel, tuple(reads), tuple(writes), shape, params,
+            call.iteration, seq,
+        )
+        tid = dag.add_task(t)
+        for h in reads:
+            self._note_read(dag, tid, h)
+        for h in writes:
+            self._note_write(dag, tid, h)
+        return tid
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, calls: List[PrimitiveCall]) -> TaskDAG:
+        """Expand the trace into a validated TaskDAG."""
+        dag = TaskDAG()
+        for seq, call in enumerate(calls):
+            handler = getattr(self, f"_op_{call.op.lower()}")
+            handler(dag, call, seq)
+        dag.validate()
+        # Partition geometry for NUMA placement: vector chunks use row
+        # partition indices; matrix handles use row-major block ids that
+        # the memory model must map back to block rows.
+        dag.n_partitions = self.np_
+        dag.matrix_name = self.matrix_name
+        dag.matrix_nbc = self.csb.nbc
+        return dag
+
+    # -- SPMM / SPMV ---------------------------------------------------
+    def _op_spmm(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        _a, xname = call.reads
+        (yname,) = call.writes
+        if xname == yname:
+            raise ValueError(
+                "SPMM cannot run in place (input and output vector "
+                f"are both {xname!r}); no sparse kernel supports that"
+            )
+        w = self.chunked[xname]
+        kernel = "SPMV" if w == 1 else "SPMM"
+        reduction = self.options.spmm_mode == "reduction"
+        for i in range(self.np_):
+            cols = (
+                self._row_cols[i]
+                if self.options.skip_empty
+                else list(range(self.csb.nbc))
+            )
+            if not cols:
+                # Row with no stored blocks: Y_i must still be zeroed.
+                yh = self.chunk_handle(yname, i)
+                self._emit(
+                    dag, "SCALE", (), (yh,),
+                    {"rows": self._row_sizes[i], "width": w, "streams": 1,
+                     "ops_per_elem": 1},
+                    {"i": i, "X": yname, "alpha": 0.0}, call, seq,
+                )
+                continue
+            if reduction:
+                self._spmm_row_reduction(dag, call, seq, kernel, i, cols,
+                                         xname, yname, w)
+            else:
+                self._spmm_row_dependency(dag, call, seq, kernel, i, cols,
+                                          xname, yname, w)
+
+    def _gather_span(self, xname: str, j: int, w: int) -> int:
+        """Bytes of input vector a SpMM task's gathers range over.
+
+        CSB confines column indices to one block (the chunk); CSR's are
+        unrestricted, so ``libcsr`` gathers span the whole vector.
+        """
+        if self.options.csr_storage:
+            return self.csb.shape[1] * w * 8
+        return self.chunk_handle(xname, j).nbytes
+
+    def _spmm_row_dependency(self, dag, call, seq, kernel, i, cols,
+                             xname, yname, w):
+        """Chain tasks on (Y, i): first overwrites, rest accumulate."""
+        yh = self.chunk_handle(yname, i)
+        first = True
+        for j in cols:
+            shape = {
+                "nnz": int(self._grid[i, j]),
+                "rows": self._row_sizes[i],
+                "cols": self.csb.col_block_bounds(j)[1]
+                - self.csb.col_block_bounds(j)[0],
+                "width": w,
+                "gather_span": self._gather_span(xname, j, w),
+            }
+            reads = [self.matrix_handle(i, j), self.chunk_handle(xname, j)]
+            if not first:
+                reads.append(yh)
+            params = {"i": i, "j": j, "A": self.matrix_name, "X": xname,
+                      "Y": yname, "zero_first": first}
+            self._emit(dag, kernel, reads, (yh,), shape, params, call, seq)
+            first = False
+
+    def _spmm_row_reduction(self, dag, call, seq, kernel, i, cols,
+                            xname, yname, w):
+        """Private partial buffer per task + one reduce task per row."""
+        part_handles = []
+        bufs = []
+        for j in cols:
+            self._buf_counter += 1
+            bufname = f"__{yname}__spmmbuf{self._buf_counter}"
+            bh = DataHandle(bufname, i, self._row_sizes[i] * w * _F8)
+            shape = {
+                "nnz": int(self._grid[i, j]),
+                "rows": self._row_sizes[i],
+                "cols": self.csb.col_block_bounds(j)[1]
+                - self.csb.col_block_bounds(j)[0],
+                "width": w,
+                "gather_span": self._gather_span(xname, j, w),
+            }
+            reads = [self.matrix_handle(i, j), self.chunk_handle(xname, j)]
+            params = {"i": i, "j": j, "A": self.matrix_name, "X": xname,
+                      "Y": bufname, "zero_first": True, "buffer": True}
+            self._emit(dag, kernel, reads, (bh,), shape, params, call, seq)
+            part_handles.append(bh)
+            bufs.append(bufname)
+        yh = self.chunk_handle(yname, i)
+        shape = {"n_parts": len(cols), "elems": self._row_sizes[i] * w}
+        self._emit(
+            dag, "SPMM_REDUCE", part_handles, (yh,), shape,
+            {"i": i, "bufs": bufs, "out": yname}, call, seq,
+        )
+
+    # -- XY: Q = Y @ Z ---------------------------------------------------
+    def _op_xy(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        yname, zname = call.reads
+        (qname,) = call.writes
+        if qname == yname:
+            raise ValueError(
+                "XY cannot write its own input block "
+                f"({yname!r}); dgemm output must not alias an operand"
+            )
+        w1 = self.chunked[yname]
+        w2 = self.chunked[qname]
+        zh = self.small_handle(zname)
+        meta = call.meta_dict
+        accumulate = bool(meta.get("accumulate", False))
+        beta = float(meta.get("beta", 1.0))
+        for i in range(self.np_):
+            qh = self.chunk_handle(qname, i)
+            reads = [self.chunk_handle(yname, i), zh]
+            if accumulate:
+                reads.append(qh)
+            shape = {"rows": self._row_sizes[i], "w1": w1, "w2": w2}
+            params = {"i": i, "Y": yname, "Z": zname, "Q": qname,
+                      "accumulate": accumulate, "beta": beta}
+            self._emit(dag, "XY", reads, (qh,), shape, params, call, seq)
+
+    # -- XTY: P = Xᵀ @ Y ---------------------------------------------------
+    def _op_xty(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        xname, yname = call.reads
+        (pname,) = call.writes
+        w1 = self.chunked[xname]
+        w2 = self.chunked[yname]
+        self._buf_counter += 1
+        part_handles = []
+        bufname = f"__{pname}__xtybuf{self._buf_counter}"
+        for i in range(self.np_):
+            bh = DataHandle(bufname, i, w1 * w2 * _F8)
+            reads = [self.chunk_handle(xname, i), self.chunk_handle(yname, i)]
+            shape = {"rows": self._row_sizes[i], "w1": w1, "w2": w2}
+            params = {"i": i, "X": xname, "Y": yname, "buf": bufname}
+            self._emit(dag, "XTY", reads, (bh,), shape, params, call, seq)
+            part_handles.append(bh)
+        ph = self.small_handle(pname)
+        shape = {"n_parts": self.np_, "elems": w1 * w2}
+        self._emit(
+            dag, "XTY_REDUCE", part_handles, (ph,), shape,
+            {"buf": bufname, "out": pname, "n_parts": self.np_}, call, seq,
+        )
+
+    # -- BLAS-1 chunk ops -------------------------------------------------
+    def _op_axpy(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        meta = call.meta_dict
+        xname = call.reads[0]
+        (yname,) = call.writes
+        w = self.chunked[yname]
+        alpha_name = meta.get("alpha_name")
+        extra = [self.small_handle(alpha_name)] if alpha_name else []
+        for i in range(self.np_):
+            yh = self.chunk_handle(yname, i)
+            reads = [self.chunk_handle(xname, i), yh] + extra
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 3}
+            params = {"i": i, "X": xname, "Y": yname,
+                      "alpha": meta.get("alpha", 1.0),
+                      "alpha_name": alpha_name,
+                      "alpha_op": meta.get("alpha_op", "identity")}
+            self._emit(dag, "AXPY", reads, (yh,), shape, params, call, seq)
+
+    def _op_scale(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        meta = call.meta_dict
+        (xname,) = call.writes
+        w = self.chunked[xname]
+        alpha_name = meta.get("alpha_name")
+        extra = [self.small_handle(alpha_name)] if alpha_name else []
+        for i in range(self.np_):
+            xh = self.chunk_handle(xname, i)
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 2,
+                     "ops_per_elem": 1}
+            params = {"i": i, "X": xname, "alpha": meta.get("alpha", 1.0),
+                      "alpha_name": alpha_name,
+                      "alpha_op": meta.get("alpha_op", "identity")}
+            self._emit(dag, "SCALE", [xh] + extra, (xh,), shape, params,
+                       call, seq)
+
+    def _op_copy(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        (xname,) = call.reads
+        (yname,) = call.writes
+        w = self.chunked[yname]
+        meta = call.meta_dict
+        for i in range(self.np_):
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 2,
+                     "ops_per_elem": 1}
+            params = {"i": i, "X": xname, "Y": yname,
+                      "col": meta.get("col"),
+                      "src_col": meta.get("src_col", 0)}
+            self._emit(dag, "COPY", (self.chunk_handle(xname, i),),
+                       (self.chunk_handle(yname, i),), shape, params, call,
+                       seq)
+
+    def _binary_chunk_op(self, dag, call, seq, kernel):
+        xname, yname = call.reads
+        (oname,) = call.writes
+        w = self.chunked[oname]
+        for i in range(self.np_):
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 3}
+            params = {"i": i, "X": xname, "Y": yname, "OUT": oname}
+            self._emit(
+                dag, kernel,
+                (self.chunk_handle(xname, i), self.chunk_handle(yname, i)),
+                (self.chunk_handle(oname, i),), shape, params, call, seq,
+            )
+
+    def _op_diagscale(self, dag, call, seq) -> None:
+        """OUT_i = dinv_i ∘ X_i: row-wise diagonal preconditioner."""
+        dname, xname = call.reads
+        (oname,) = call.writes
+        w = self.chunked[oname]
+        for i in range(self.np_):
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 3}
+            params = {"i": i, "D": dname, "X": xname, "OUT": oname}
+            self._emit(
+                dag, "DIAGSCALE",
+                (self.chunk_handle(dname, i), self.chunk_handle(xname, i)),
+                (self.chunk_handle(oname, i),), shape, params, call, seq,
+            )
+
+    def _op_add(self, dag, call, seq):
+        self._binary_chunk_op(dag, call, seq, "ADD")
+
+    def _op_sub(self, dag, call, seq):
+        self._binary_chunk_op(dag, call, seq, "SUB")
+
+    # -- DOT: s = <X, Y> ----------------------------------------------------
+    def _op_dot(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        xname, yname = call.reads
+        (sname,) = call.writes
+        w = self.chunked[xname]
+        self._buf_counter += 1
+        bufname = f"__{sname}__dotbuf{self._buf_counter}"
+        part_handles = []
+        for i in range(self.np_):
+            bh = DataHandle(bufname, i, _F8)
+            shape = {"rows": self._row_sizes[i], "width": w, "streams": 2}
+            params = {"i": i, "X": xname, "Y": yname, "buf": bufname}
+            self._emit(
+                dag, "DOT",
+                (self.chunk_handle(xname, i), self.chunk_handle(yname, i)),
+                (bh,), shape, params, call, seq,
+            )
+            part_handles.append(bh)
+        sh = self.small_handle(sname)
+        meta = call.meta_dict
+        shape = {"n_parts": self.np_, "elems": 1}
+        params = {"buf": bufname, "out": sname,
+                  "post": meta.get("post", "identity")}
+        self._emit(dag, "DOT_REDUCE", part_handles, (sh,), shape, params,
+                   call, seq)
+
+    # -- small dense ops -----------------------------------------------------
+    def _op_small(self, dag: TaskDAG, call: PrimitiveCall, seq: int) -> None:
+        meta = call.meta_dict
+        kernel = meta.get("kernel", "SMALL_EIGH")
+        k = int(meta.get("k", 1))
+        reads = [self.small_handle(n) for n in call.reads]
+        writes = [self.small_handle(n) for n in call.writes]
+        params = {"op": meta.get("op", kernel), "reads": list(call.reads),
+                  "writes": list(call.writes)}
+        params.update(
+            {kk: vv for kk, vv in meta.items()
+             if kk not in ("kernel", "k", "op")}
+        )
+        self._emit(dag, kernel, reads, writes, {"k": k}, params, call, seq)

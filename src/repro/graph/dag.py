@@ -1,0 +1,170 @@
+"""The task dependency graph container.
+
+Stores tasks and their precedence edges, provides the structural
+queries every runtime needs — deterministic topological orders, the
+critical path, per-level width — and validation used by tests and by
+runtimes that want to assert a schedule is legal before trusting its
+timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Optional
+
+from repro.graph.task import Task
+
+__all__ = ["TaskDAG"]
+
+
+class TaskDAG:
+    """A DAG of :class:`~repro.graph.task.Task` nodes.
+
+    Edges mean "must complete before".  Tasks get dense ids in
+    insertion order, which for DAGs built by the
+    :class:`~repro.graph.builder.DAGBuilder` coincides with the
+    depth-first program order DeepSparse spawns tasks in.
+    """
+
+    def __init__(self):
+        self.tasks: List[Task] = []
+        self.succ: List[List[int]] = []
+        self.pred: List[List[int]] = []
+        self._edge_set = set()
+
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> int:
+        """Insert a task; assigns and returns its dense id."""
+        tid = len(self.tasks)
+        task.tid = tid
+        self.tasks.append(task)
+        self.succ.append([])
+        self.pred.append([])
+        return tid
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add precedence ``u before v``; duplicate and self edges are no-ops."""
+        if u == v:
+            return
+        if not (0 <= u < len(self.tasks) and 0 <= v < len(self.tasks)):
+            raise IndexError(f"edge ({u}, {v}) references unknown task")
+        if (u, v) in self._edge_set:
+            return
+        self._edge_set.add((u, v))
+        self.succ[u].append(v)
+        self.pred[v].append(u)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edge_set)
+
+    def sources(self) -> List[int]:
+        """Tasks with no predecessors (ready at time zero)."""
+        return [t.tid for t in self.tasks if not self.pred[t.tid]]
+
+    def in_degrees(self) -> List[int]:
+        return [len(p) for p in self.pred]
+
+    # ------------------------------------------------------------------
+    def topo_order(self) -> List[int]:
+        """Kahn's algorithm with smallest-id tie-break (deterministic).
+
+        Raises ``ValueError`` if the graph has a cycle — which would
+        mean the dependence analysis is broken, so this doubles as the
+        validation entry point.
+        """
+        import heapq
+
+        indeg = self.in_degrees()
+        heap = [i for i, d in enumerate(indeg) if d == 0]
+        heapq.heapify(heap)
+        order = []
+        while heap:
+            u = heapq.heappop(heap)
+            order.append(u)
+            for v in self.succ[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    heapq.heappush(heap, v)
+        if len(order) != len(self.tasks):
+            raise ValueError(
+                f"task graph has a cycle: only {len(order)} of "
+                f"{len(self.tasks)} tasks are orderable"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Raise if the graph is not a DAG."""
+        self.topo_order()
+
+    def check_schedule(self, order: Iterable[int]) -> None:
+        """Raise ``ValueError`` if ``order`` violates any dependence.
+
+        ``order`` must be a permutation of all task ids.
+        """
+        pos = {}
+        for rank, tid in enumerate(order):
+            if tid in pos:
+                raise ValueError(f"task {tid} executed twice")
+            pos[tid] = rank
+        if len(pos) != len(self.tasks):
+            raise ValueError(
+                f"schedule covers {len(pos)} of {len(self.tasks)} tasks"
+            )
+        for (u, v) in self._edge_set:
+            if pos[u] > pos[v]:
+                raise ValueError(
+                    f"dependence violated: task {u} must precede task {v}"
+                )
+
+    # ------------------------------------------------------------------
+    def critical_path(
+        self, weight: Optional[Callable[[Task], float]] = None
+    ) -> float:
+        """Longest path through the DAG.
+
+        With the default unit weight this is the paper's critical-path
+        *length* (5 for Lanczos, 29 for LOBPCG per iteration at the
+        function-call level); with ``weight=lambda t: t.flops`` it is
+        the work-weighted span.
+        """
+        if weight is None:
+            weight = lambda _t: 1.0  # noqa: E731
+        dist = [0.0] * len(self.tasks)
+        for u in self.topo_order():
+            du = dist[u] + weight(self.tasks[u])
+            dist[u] = du
+            for v in self.succ[u]:
+                if du > dist[v]:
+                    dist[v] = du
+        return max(dist, default=0.0)
+
+    def levels(self) -> List[int]:
+        """ASAP level of each task (longest unit-edge distance from a source)."""
+        lvl = [0] * len(self.tasks)
+        for u in self.topo_order():
+            for v in self.succ[u]:
+                if lvl[u] + 1 > lvl[v]:
+                    lvl[v] = lvl[u] + 1
+        return lvl
+
+    # ------------------------------------------------------------------
+    def total_flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    def by_kernel(self) -> dict:
+        """Task counts per kernel name (census used in logs and tests)."""
+        out = {}
+        for t in self.tasks:
+            out[t.kernel] = out.get(t.kernel, 0) + 1
+        return out
+
+    def __repr__(self):
+        return (
+            f"TaskDAG({len(self.tasks)} tasks, {self.n_edges} edges, "
+            f"kernels={self.by_kernel()})"
+        )

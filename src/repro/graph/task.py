@@ -1,0 +1,109 @@
+"""Task and data-handle primitives of the task dependency graph.
+
+A :class:`DataHandle` names one unit of data at task granularity — a
+row-block chunk of a vector block, one CSB tile of the sparse matrix, a
+small n×n matrix, or a scalar.  Handles are the join points of the
+dependence analysis (TDGG) *and* the objects the cache/NUMA machine
+model tracks, so their byte sizes live here.
+
+A :class:`Task` is one node of the DAG: a kernel name from the
+:mod:`repro.kernels.registry`, the handles it reads and writes, a shape
+dictionary for the cost model, and the parameters its executable body
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.kernels.registry import kernel_spec
+
+__all__ = ["DataHandle", "Task"]
+
+
+@dataclass(frozen=True)
+class DataHandle:
+    """One dependence-tracked unit of data.
+
+    Parameters
+    ----------
+    name:
+        Logical array name (``"Y"``, ``"A"``, ``"gramA"`` …).
+    part:
+        Row-block partition index for chunked vectors, the row-major
+        block id for sparse tiles, or ``None`` for unpartitioned
+        (small/scalar) data.
+    nbytes:
+        Footprint of this unit; drives the cache simulator.  Excluded
+        from equality so the same logical chunk compares equal however
+        it was sized.
+    """
+
+    name: str
+    part: Optional[int] = None
+    nbytes: int = field(default=0, compare=False, hash=False)
+
+    def __str__(self):
+        return self.name if self.part is None else f"{self.name}[{self.part}]"
+
+
+@dataclass
+class Task:
+    """One node of the task dependency graph.
+
+    Attributes
+    ----------
+    tid:
+        Dense integer id assigned by the DAG (index into its arrays).
+    kernel:
+        Registered kernel name; prices the task via the registry.
+    reads / writes:
+        Handles consumed / produced.  A read-write (accumulate) handle
+        appears in both tuples.
+    shape:
+        Operand-shape dictionary the kernel's cost contract expects.
+    params:
+        Execution parameters for the kernel body (block indices,
+        scalar names, flags such as ``zero_first``).
+    iteration:
+        Solver iteration the task belongs to (flow-graph lane).
+    seq:
+        Program order of the originating primitive call; DeepSparse
+        spawns tasks in depth-first topological order keyed on this.
+    """
+
+    tid: int
+    kernel: str
+    reads: Tuple[DataHandle, ...]
+    writes: Tuple[DataHandle, ...]
+    shape: dict
+    params: dict = field(default_factory=dict)
+    iteration: int = 0
+    seq: int = 0
+
+    @property
+    def flops(self) -> float:
+        """Floating-point work priced by the kernel registry."""
+        return kernel_spec(self.kernel).flops(self.shape)
+
+    @property
+    def bytes_streamed(self) -> float:
+        """Compulsory operand traffic priced by the kernel registry."""
+        return kernel_spec(self.kernel).bytes_streamed(self.shape)
+
+    @property
+    def kind(self) -> str:
+        return kernel_spec(self.kernel).kind
+
+    def touched(self) -> Tuple[DataHandle, ...]:
+        """All handles the task touches (reads then writes, deduplicated)."""
+        seen = {}
+        for h in self.reads + self.writes:
+            seen.setdefault((h.name, h.part), h)
+        return tuple(seen.values())
+
+    def __repr__(self):
+        r = ",".join(str(h) for h in self.reads)
+        w = ",".join(str(h) for h in self.writes)
+        return f"Task({self.tid}, {self.kernel}, R[{r}] W[{w}], it={self.iteration})"

@@ -1,0 +1,59 @@
+"""Computational kernels shared by every solver version.
+
+The paper uses MKL calls inside each task "for a fair comparison"; the
+analogue here is a single set of NumPy-vectorized kernels used by the
+BSP baselines, by the real threaded runtime, and (as cost footprints)
+by the discrete-event simulator.  Kernels come in two granularities:
+
+* **full** kernels operating on whole operands (the BSP / ``libcsr``
+  path), and
+* **block** kernels operating on one CSB tile or one row-block chunk
+  (the task bodies of the task-parallel versions).
+
+Each kernel has a :class:`~repro.kernels.registry.KernelSpec` entry
+giving its flop and byte footprint as a function of operand shapes —
+the contract between the executable kernels and the machine model.
+"""
+
+from repro.kernels.registry import KernelSpec, KERNELS, kernel_spec
+from repro.kernels.spmv import spmv_csr, spmv_block
+from repro.kernels.spmm import spmm_csr, spmm_block
+from repro.kernels.blockops import (
+    xy_block,
+    xty_partial,
+    xty_reduce,
+    axpy_block,
+    scale_block,
+    dot_partial,
+    dot_reduce,
+    copy_block,
+    add_block,
+    sub_block,
+)
+from repro.kernels.dense import rayleigh_ritz, small_eigh, small_solve
+from repro.kernels.ortho import orthonormalize, cholesky_qr
+
+__all__ = [
+    "KernelSpec",
+    "KERNELS",
+    "kernel_spec",
+    "spmv_csr",
+    "spmv_block",
+    "spmm_csr",
+    "spmm_block",
+    "xy_block",
+    "xty_partial",
+    "xty_reduce",
+    "axpy_block",
+    "scale_block",
+    "dot_partial",
+    "dot_reduce",
+    "copy_block",
+    "add_block",
+    "sub_block",
+    "rayleigh_ritz",
+    "small_eigh",
+    "small_solve",
+    "orthonormalize",
+    "cholesky_qr",
+]

@@ -1,0 +1,86 @@
+"""Row-block vector kernels: XY, XTY (+reduce), and BLAS-1 chunk ops.
+
+These are the 1-D kernels of Listing 1: every vector or vector block is
+partitioned into the same row chunks as the CSB block rows, and each
+task touches one chunk.  The XTY kernel computes per-chunk partial
+products that a final reduce task accumulates (Fig. 2).
+
+All kernels mutate their output chunk in place (views into the parent
+array — no copies, per the first-touch and reuse discipline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xy_block",
+    "xty_partial",
+    "xty_reduce",
+    "axpy_block",
+    "scale_block",
+    "dot_partial",
+    "dot_reduce",
+    "copy_block",
+    "add_block",
+    "sub_block",
+]
+
+
+def xy_block(Y_chunk: np.ndarray, Z: np.ndarray, Q_chunk: np.ndarray) -> None:
+    """Linear-combination (XY) task: ``Q_i = Y_i @ Z``.
+
+    ``Y_i`` is a ``b×n`` chunk, ``Z`` the whole ``n×n`` coefficient
+    matrix (read by every task), ``Q_i`` the output chunk.
+    """
+    np.matmul(Y_chunk, Z, out=Q_chunk)
+
+
+def xty_partial(Y_chunk: np.ndarray, Q_chunk: np.ndarray,
+                P_partial: np.ndarray) -> None:
+    """Inner-product (XTY) task: ``P_partial = Y_iᵀ @ Q_i`` (n×n)."""
+    np.matmul(Y_chunk.T, Q_chunk, out=P_partial)
+
+
+def xty_reduce(partials, P_out: np.ndarray) -> None:
+    """Final XTY task: accumulate the per-chunk partials into ``P``."""
+    P_out[:] = 0.0
+    for p in partials:
+        P_out += p
+
+
+def axpy_block(alpha: float, X_chunk: np.ndarray, Y_chunk: np.ndarray) -> None:
+    """``Y_i += alpha * X_i`` in place."""
+    Y_chunk += alpha * X_chunk
+
+
+def scale_block(alpha: float, X_chunk: np.ndarray) -> None:
+    """``X_i *= alpha`` in place."""
+    X_chunk *= alpha
+
+
+def dot_partial(X_chunk: np.ndarray, Y_chunk: np.ndarray) -> float:
+    """Partial scalar product of two chunks (flattened)."""
+    return float(np.dot(X_chunk.ravel(), Y_chunk.ravel()))
+
+
+def dot_reduce(partials) -> float:
+    """Accumulate partial dot products."""
+    return float(sum(partials))
+
+
+def copy_block(src_chunk: np.ndarray, dst_chunk: np.ndarray) -> None:
+    """``dst_i = src_i`` chunk copy."""
+    dst_chunk[:] = src_chunk
+
+
+def add_block(X_chunk: np.ndarray, Y_chunk: np.ndarray,
+              out_chunk: np.ndarray) -> None:
+    """``out_i = X_i + Y_i``."""
+    np.add(X_chunk, Y_chunk, out=out_chunk)
+
+
+def sub_block(X_chunk: np.ndarray, Y_chunk: np.ndarray,
+              out_chunk: np.ndarray) -> None:
+    """``out_i = X_i − Y_i``."""
+    np.subtract(X_chunk, Y_chunk, out=out_chunk)

@@ -1,0 +1,60 @@
+"""Small dense kernels: Rayleigh–Ritz and tiny eigen/solve helpers.
+
+LOBPCG's per-iteration Rayleigh–Ritz step works on matrices of size
+``3n × 3n`` where n is the vector-block width (8–16) — tiny relative to
+the sparse operands.  They sit on the critical path (length 29), so the
+task DAG models them as single sequential tasks, and these are their
+executable bodies.  LAPACK is reached through NumPy/SciPy, mirroring
+the paper's use of LAPACK inside tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["small_eigh", "small_solve", "rayleigh_ritz"]
+
+
+def small_eigh(A: np.ndarray):
+    """Eigendecomposition of a small symmetric matrix (ascending)."""
+    A = np.asarray(A, dtype=np.float64)
+    w, V = np.linalg.eigh((A + A.T) * 0.5)
+    return w, V
+
+
+def small_solve(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve the small dense system ``A X = B``."""
+    return np.linalg.solve(A, B)
+
+
+def rayleigh_ritz(gram_A: np.ndarray, gram_B: np.ndarray, nev: int):
+    """Rayleigh–Ritz on a subspace: solve ``gram_A c = λ gram_B c``.
+
+    Parameters
+    ----------
+    gram_A:
+        ``Sᵀ H S`` projection of the operator onto the subspace basis S.
+    gram_B:
+        ``Sᵀ S`` Gram matrix of the basis (may be ill-conditioned when
+        LOBPCG directions nearly collapse; handled by eigenvalue
+        flooring on the B factor).
+    nev:
+        Number of smallest Ritz pairs to return.
+
+    Returns
+    -------
+    (values, coeffs):
+        ``values[k]`` and subspace coefficient columns ``coeffs[:, k]``.
+    """
+    gram_A = np.asarray(gram_A, dtype=np.float64)
+    gram_B = np.asarray(gram_B, dtype=np.float64)
+    # Whitening transform via eigendecomposition of gram_B with flooring,
+    # the standard robust treatment for nearly dependent LOBPCG bases.
+    wB, VB = np.linalg.eigh((gram_B + gram_B.T) * 0.5)
+    floor = max(wB.max(), 1.0) * 1e-12
+    keep = wB > floor
+    W = VB[:, keep] / np.sqrt(wB[keep])
+    Aw = W.T @ gram_A @ W
+    w, V = np.linalg.eigh((Aw + Aw.T) * 0.5)
+    k = min(nev, w.size)
+    return w[:k], W @ V[:, :k]

@@ -1,0 +1,25 @@
+"""SpMM kernels: full-matrix (BSP) and per-CSB-block (task body).
+
+LOBPCG's dominant kernel.  Vector blocks have 8–16 columns in the
+paper, so the block kernel is a tall-skinny sparse-times-dense update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.csb import CSBBlock
+from repro.matrices.csr import CSRMatrix
+
+__all__ = ["spmm_csr", "spmm_block"]
+
+
+def spmm_csr(A: CSRMatrix, X: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Full Y = A @ X on CSR storage (the ``libcsr`` kernel)."""
+    return A.spmm(X, out=out)
+
+
+def spmm_block(blk: CSBBlock, X_chunk: np.ndarray, Y_chunk: np.ndarray) -> None:
+    """``Y_i += A_ij @ X_j`` for one CSB block, in place (Fig. 1 task)."""
+    if blk.nnz:
+        np.add.at(Y_chunk, blk.rows, blk.vals[:, None] * X_chunk[blk.cols])

@@ -1,0 +1,31 @@
+"""SpMV kernels: full-matrix (BSP) and per-CSB-block (task body).
+
+The block kernel matches the SpMM task partitioning of Fig. 1 with
+vector width n = 1: each task consumes sparse block ``A_ij`` and input
+chunk ``x_j`` and accumulates into output chunk ``y_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.csb import CSBBlock
+from repro.matrices.csr import CSRMatrix
+
+__all__ = ["spmv_csr", "spmv_block"]
+
+
+def spmv_csr(A: CSRMatrix, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Full y = A @ x on CSR storage (the ``libcsr`` kernel)."""
+    return A.spmv(x, out=out)
+
+
+def spmv_block(blk: CSBBlock, x_chunk: np.ndarray, y_chunk: np.ndarray) -> None:
+    """``y_i += A_ij @ x_j`` for one CSB block, in place.
+
+    The dependency-based output policy (§3) means callers must
+    serialize tasks writing the same ``y_chunk``; the kernel itself is
+    a plain scatter-add over the block's local coordinates.
+    """
+    if blk.nnz:
+        np.add.at(y_chunk, blk.rows, blk.vals * x_chunk[blk.cols])

@@ -1,0 +1,35 @@
+"""Simulated hardware: topology, caches, NUMA memory, perf counters.
+
+The paper measures wall time and ``perf stat`` cache misses on two real
+nodes.  This package is the substitution: an explicit machine model
+with the published topology of both nodes —
+
+* **Broadwell**: 2 × 14-core Xeon E5-2680v4, 2.4 GHz, 32 KB L1d +
+  256 KB L2 per core, 35 MB L3 per socket, 2 NUMA domains.
+* **EPYC**: 2 × 64-core EPYC 7H12, 2.6 GHz, 32 KB L1d + 512 KB L2 per
+  core, 16 MB L3 per 4-core CCX, 8 NUMA domains (16 cores each).
+
+Caches are LRU over data-object extents (handles), misses are counted
+in 64-byte lines, writes invalidate other cores' copies (coherence),
+and DRAM access costs depend on first-touch NUMA placement.
+"""
+
+from repro.machine.topology import MachineSpec, CoreInfo
+from repro.machine.presets import broadwell, epyc, MACHINES, get_machine
+from repro.machine.cache import LRUCache, CacheHierarchy, CACHE_LINE
+from repro.machine.memory import MemoryModel
+from repro.machine.perf import PerfCounters
+
+__all__ = [
+    "MachineSpec",
+    "CoreInfo",
+    "broadwell",
+    "epyc",
+    "MACHINES",
+    "get_machine",
+    "LRUCache",
+    "CacheHierarchy",
+    "CACHE_LINE",
+    "MemoryModel",
+    "PerfCounters",
+]

@@ -1,0 +1,148 @@
+"""LRU cache simulation at data-object granularity.
+
+Simulating every 64-byte line of multi-megabyte operands is orders of
+magnitude too slow in Python and unnecessary for this study: tasks
+stream whole extents (a CSB tile, a b×n vector chunk), so residency can
+be tracked per *handle* with partial-byte occupancy.  An access of
+``nbytes`` hits on however many bytes of that handle are resident and
+misses on the rest; misses are reported in cache lines, which is what
+``perf stat`` counts.
+
+The hierarchy is per-core L1 and L2 plus one shared L3 per L3 group
+(socket on Broadwell, CCX on EPYC).  Writes invalidate the handle in
+every *other* core's private levels and other L3 groups — the MESI
+behaviour that makes the BSP versions pay coherence misses when the
+next kernel's static schedule lands a chunk on a different core.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.machine.topology import MachineSpec
+
+__all__ = ["CACHE_LINE", "LRUCache", "CacheHierarchy"]
+
+CACHE_LINE = 64
+
+
+class LRUCache:
+    """One cache level: LRU over (handle-key → resident bytes).
+
+    ``access`` returns the number of *missed bytes*; the caller
+    propagates those to the next level.  Objects larger than the
+    capacity are clamped to capacity (a streaming object can keep at
+    most ``capacity`` bytes resident).
+    """
+
+    __slots__ = ("capacity", "used", "_entries")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self.used = 0
+        self._entries: "OrderedDict[tuple, int]" = OrderedDict()
+
+    def access(self, key: tuple, nbytes: int) -> int:
+        """Touch ``nbytes`` of object ``key``; return missed bytes."""
+        if nbytes <= 0:
+            return 0
+        resident = self._entries.pop(key, 0)
+        hit = min(resident, nbytes)
+        miss = nbytes - hit
+        new_resident = min(nbytes, self.capacity)
+        self.used += new_resident - resident
+        self._entries[key] = new_resident  # most-recently-used position
+        self._evict()
+        return miss
+
+    def _evict(self) -> None:
+        while self.used > self.capacity and self._entries:
+            _k, sz = self._entries.popitem(last=False)
+            self.used -= sz
+
+    def invalidate(self, key: tuple) -> None:
+        """Drop an object (coherence invalidation on remote write)."""
+        sz = self._entries.pop(key, None)
+        if sz:
+            self.used -= sz
+
+    def resident(self, key: tuple) -> int:
+        """Bytes of ``key`` currently resident (no LRU update)."""
+        return self._entries.get(key, 0)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self.used = 0
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core, shared L3 per group, with coherence.
+
+    ``access`` models one task-level operand touch and returns missed
+    lines per level ``(l1, l2, l3)``; an L3 miss means a DRAM access
+    (priced by the memory model, which knows NUMA placement).
+    """
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self.l1 = [LRUCache(machine.l1_size) for _ in range(machine.n_cores)]
+        self.l2 = [LRUCache(machine.l2_size) for _ in range(machine.n_cores)]
+        self.l3 = [LRUCache(machine.l3_size) for _ in range(machine.n_l3_groups)]
+        # handle-key -> set of core ids / l3 group ids that may hold it;
+        # bounds the invalidation sweep to actual sharers.
+        self._sharers: Dict[tuple, set] = {}
+        self._l3_sharers: Dict[tuple, set] = {}
+
+    # ------------------------------------------------------------------
+    def access(
+        self, core: int, key: tuple, nbytes: int, write: bool = False
+    ) -> Tuple[int, int, int]:
+        """Touch ``nbytes`` of ``key`` from ``core``; missed lines/level."""
+        if nbytes <= 0:
+            return (0, 0, 0)
+        g = self.machine.l3_group_of_core(core)
+        m1 = self.l1[core].access(key, nbytes)
+        m2 = self.l2[core].access(key, m1) if m1 else 0
+        m3 = self.l3[g].access(key, m2) if m2 else 0
+        self._sharers.setdefault(key, set()).add(core)
+        self._l3_sharers.setdefault(key, set()).add(g)
+        if write:
+            self._invalidate_others(core, g, key)
+        lines = lambda b: -(-b // CACHE_LINE) if b else 0  # noqa: E731
+        return (lines(m1), lines(m2), lines(m3))
+
+    def _invalidate_others(self, core: int, group: int, key: tuple) -> None:
+        sharers = self._sharers.get(key)
+        if sharers:
+            for c in sharers:
+                if c != core:
+                    self.l1[c].invalidate(key)
+                    self.l2[c].invalidate(key)
+            sharers.intersection_update({core})
+        l3s = self._l3_sharers.get(key)
+        if l3s:
+            for gg in l3s:
+                if gg != group:
+                    self.l3[gg].invalidate(key)
+            l3s.intersection_update({group})
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Cold-start every level (between benchmark configurations)."""
+        for c in self.l1:
+            c.flush()
+        for c in self.l2:
+            c.flush()
+        for c in self.l3:
+            c.flush()
+        self._sharers.clear()
+        self._l3_sharers.clear()

@@ -1,0 +1,76 @@
+"""Presets for the two evaluation nodes of §5.
+
+Geometry is taken verbatim from the paper; the per-line transfer costs
+are calibrated so the memory-bound sparse kernels land at realistic
+fractions of peak (SpMV ≈ a few percent of peak flops when streaming
+from DRAM) and so NUMA effects are stronger on EPYC (8 domains) than
+Broadwell (2 domains), matching §5.1.
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import MachineSpec
+
+__all__ = ["broadwell", "epyc", "MACHINES", "get_machine"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def broadwell() -> MachineSpec:
+    """2 × 14-core Intel Xeon E5-2680v4, 2.4 GHz (the multicore node)."""
+    return MachineSpec(
+        name="broadwell",
+        n_cores=28,
+        n_sockets=2,
+        n_numa_domains=2,
+        l1_size=32 * KB,
+        l2_size=256 * KB,
+        l3_size=35 * MB,
+        l3_group_cores=14,
+        ghz=2.4,
+        flops_per_cycle=8.0,  # AVX2 FMA: 4 lanes × 2 flops
+        l2_line_cost=1.1e-9,
+        l3_line_cost=3.2e-9,
+        dram_line_cost=12.0e-9,
+        numa_penalty=1.7,
+    )
+
+
+def epyc() -> MachineSpec:
+    """2 × 64-core AMD EPYC 7H12, 2.6 GHz (the manycore node).
+
+    16 MB L3 per 4-core CCX; 8 NUMA domains of 16 cores — the layout
+    behind the paper's first-touch and NUMA-aware-scheduling findings.
+    """
+    return MachineSpec(
+        name="epyc",
+        n_cores=128,
+        n_sockets=2,
+        n_numa_domains=8,
+        l1_size=32 * KB,
+        l2_size=512 * KB,
+        l3_size=16 * MB,
+        l3_group_cores=4,
+        ghz=2.6,
+        flops_per_cycle=8.0,
+        l2_line_cost=1.0e-9,
+        l3_line_cost=3.5e-9,
+        # More cores contending for memory: higher per-core line cost,
+        # and crossing one of 8 domains is pricier than Broadwell's 2.
+        dram_line_cost=18.0e-9,
+        numa_penalty=2.8,
+    )
+
+
+MACHINES = {"broadwell": broadwell, "epyc": epyc}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a preset by name."""
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; presets: {', '.join(MACHINES)}"
+        ) from None

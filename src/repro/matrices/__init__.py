@@ -1,0 +1,46 @@
+"""Sparse matrix substrates: storage formats, generators, and the paper's matrix suite.
+
+The task-parallel frameworks in the paper define tasks from the 2-D
+decomposition of the input matrix stored in Compressed Sparse Block
+(CSB) form.  This subpackage provides, from scratch (no scipy.sparse in
+the compute path):
+
+* :class:`~repro.matrices.coo.COOMatrix` — coordinate triplets, the
+  interchange/builder format.
+* :class:`~repro.matrices.csr.CSRMatrix` — compressed sparse row, the
+  ``libcsr`` baseline storage.
+* :class:`~repro.matrices.csb.CSBMatrix` — compressed sparse blocks,
+  the 2-D tiled storage all task-parallel versions (and ``libcsb``)
+  are built on.
+* Generators for every sparsity-pattern family in Table 1 and
+  :func:`~repro.matrices.suite.load_suite` for the scaled 15-matrix
+  evaluation suite.
+"""
+
+from repro.matrices.coo import COOMatrix
+from repro.matrices.csr import CSRMatrix
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.symmetrize import (
+    symmetrize_lower,
+    is_symmetric,
+    fill_binary_random,
+)
+from repro.matrices.suite import (
+    SUITE,
+    MatrixSpec,
+    load_matrix,
+    load_suite,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSBMatrix",
+    "symmetrize_lower",
+    "is_symmetric",
+    "fill_binary_random",
+    "SUITE",
+    "MatrixSpec",
+    "load_matrix",
+    "load_suite",
+]

@@ -1,0 +1,140 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the builder and interchange format: generators emit triplets,
+and conversions to CSR/CSB start from a canonical (sorted, deduplicated)
+COO form.  All operations are NumPy-vectorized; no per-entry Python
+loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix as (row, col, value) triplets.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)`` of the matrix.
+    rows, cols:
+        Integer index arrays of equal length.
+    vals:
+        Float64 value array of the same length.
+
+    The constructor copies nothing and does not canonicalize; call
+    :meth:`canonical` to sort row-major and merge duplicate entries.
+    """
+
+    shape: tuple
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    _canonical: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.vals = np.asarray(self.vals, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.vals.shape):
+            raise ValueError(
+                "rows, cols, vals must have identical shapes, got "
+                f"{self.rows.shape}, {self.cols.shape}, {self.vals.shape}"
+            )
+        if self.rows.ndim != 1:
+            raise ValueError("COO index arrays must be 1-D")
+        nr, nc = self.shape
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= nr:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= nc:
+                raise ValueError("col index out of range")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape) -> "COOMatrix":
+        """An all-zero matrix with no stored entries."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(shape, z, z.copy(), np.zeros(0))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Extract the nonzero entries of a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates counted separately)."""
+        return int(self.vals.size)
+
+    # ------------------------------------------------------------------
+    # Canonicalization
+    # ------------------------------------------------------------------
+    def canonical(self) -> "COOMatrix":
+        """Return an equivalent COO sorted row-major with duplicates summed.
+
+        Entries whose values sum to exactly zero are kept (explicit
+        zeros are legal stored entries), matching the behaviour of the
+        CSB construction in the paper where the block census depends on
+        stored entries, not numeric values.
+        """
+        if self._canonical:
+            return self
+        if self.nnz == 0:
+            out = COOMatrix.empty(self.shape)
+            out._canonical = True
+            return out
+        # Sort by (row, col); np.lexsort's last key is primary.
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        v = self.vals[order]
+        # Merge duplicates: boundaries where (row, col) changes.
+        new_entry = np.empty(r.size, dtype=bool)
+        new_entry[0] = True
+        np.not_equal(r[1:], r[:-1], out=new_entry[1:])
+        np.logical_or(new_entry[1:], c[1:] != c[:-1], out=new_entry[1:])
+        group = np.cumsum(new_entry) - 1
+        n_groups = int(group[-1]) + 1
+        merged = np.zeros(n_groups)
+        np.add.at(merged, group, v)
+        keep = new_entry.nonzero()[0]
+        out = COOMatrix(self.shape, r[keep], c[keep], merged)
+        out._canonical = True
+        return out
+
+    # ------------------------------------------------------------------
+    # Dense / arithmetic views (test and small-problem support)
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array (small matrices only)."""
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps row/col index arrays, no copy of vals)."""
+        return COOMatrix(
+            (self.shape[1], self.shape[0]), self.cols, self.rows, self.vals
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x via scatter-add; reference implementation for tests."""
+        x = np.asarray(x)
+        y = np.zeros(self.shape[0])
+        np.add.at(y, self.rows, self.vals * x[self.cols])
+        return y
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row; drives the load-imbalance statistics."""
+        return np.bincount(self.rows, minlength=self.shape[0]).astype(np.int64)

@@ -1,0 +1,119 @@
+"""Matrix I/O: Matrix Market (coordinate) and a compact NPZ container.
+
+The paper loads SuiteSparse matrices from Matrix Market files.  This
+reader/writer supports the ``matrix coordinate real/integer/pattern
+general/symmetric`` subset that covers the whole collection, plus an
+NPZ round-trip for fast local caching of generated suite matrices.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from repro.matrices.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market", "save_npz", "load_npz"]
+
+
+def read_matrix_market(path_or_file) -> COOMatrix:
+    """Parse a Matrix Market coordinate file into COO.
+
+    Supports real/integer/pattern fields and general/symmetric
+    symmetry.  Symmetric files are expanded (mirror off-diagonal
+    entries), matching SuiteSparse conventions.  Pattern files get unit
+    values.
+    """
+    close = False
+    if isinstance(path_or_file, (str, os.PathLike)):
+        f = open(path_or_file, "r")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        header = f.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket":
+            raise ValueError("not a MatrixMarket file (bad banner)")
+        _, obj, fmt, field, symmetry = [h.lower() for h in header[:5]]
+        if obj != "matrix" or fmt != "coordinate":
+            raise ValueError(f"unsupported MatrixMarket type: {obj} {fmt}")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry: {symmetry}")
+        # Skip comments, read size line.
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nr, nc, nnz = (int(t) for t in line.split())
+        body = f.read()
+    finally:
+        if close:
+            f.close()
+    ncols_body = 2 if field == "pattern" else 3
+    raw = np.loadtxt(io.StringIO(body), ndmin=2)
+    if raw.size == 0:
+        raw = raw.reshape(0, ncols_body)
+    if raw.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {raw.shape[0]}")
+    rows = raw[:, 0].astype(np.int64) - 1  # MM is 1-based
+    cols = raw[:, 1].astype(np.int64) - 1
+    vals = raw[:, 2] if field != "pattern" else np.ones(nnz)
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows, cols = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+        )
+        vals = np.concatenate([vals, vals[off]])
+    return COOMatrix((nr, nc), rows, cols, vals).canonical()
+
+
+def write_matrix_market(path_or_file, coo: COOMatrix, symmetric: bool = False):
+    """Write COO as a general or symmetric real coordinate file.
+
+    With ``symmetric=True`` only the lower triangle is emitted (the
+    matrix must actually be symmetric; this is not checked here —
+    callers validate via :func:`repro.matrices.symmetrize.is_symmetric`).
+    """
+    coo = coo.canonical()
+    rows, cols, vals = coo.rows, coo.cols, coo.vals
+    if symmetric:
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    sym = "symmetric" if symmetric else "general"
+    close = False
+    if isinstance(path_or_file, (str, os.PathLike)):
+        f = open(path_or_file, "w")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        f.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        f.write(f"{coo.shape[0]} {coo.shape[1]} {rows.size}\n")
+        body = np.column_stack([rows + 1, cols + 1, vals])
+        np.savetxt(f, body, fmt="%d %d %.17g")
+    finally:
+        if close:
+            f.close()
+
+
+def save_npz(path, coo: COOMatrix):
+    """Cache a COO matrix in NumPy's compressed container."""
+    np.savez_compressed(
+        path,
+        shape=np.asarray(coo.shape, dtype=np.int64),
+        rows=coo.rows,
+        cols=coo.cols,
+        vals=coo.vals,
+    )
+
+
+def load_npz(path) -> COOMatrix:
+    """Load a COO matrix written by :func:`save_npz`."""
+    with np.load(path) as z:
+        return COOMatrix(
+            tuple(int(v) for v in z["shape"]), z["rows"], z["cols"], z["vals"]
+        )

@@ -1,0 +1,100 @@
+"""Bandwidth-reducing reordering (reverse Cuthill–McKee).
+
+The CSB block census — and with it the whole task structure — depends
+on where the nonzeros sit.  RCM reordering concentrates them near the
+diagonal, turning scattered patterns into banded ones: fewer non-empty
+blocks, shorter SpMM row chains, smaller gather spans.  Offered as a
+preprocessing utility (the paper takes SuiteSparse orderings as-is; the
+ablation benchmark quantifies what reordering would have bought).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.matrices.coo import COOMatrix
+
+__all__ = ["rcm_ordering", "permute", "bandwidth"]
+
+
+def _adjacency(coo: COOMatrix):
+    """CSR-style adjacency (indptr, indices) of the symmetric pattern."""
+    coo = coo.canonical()
+    off = coo.rows != coo.cols
+    r = np.concatenate([coo.rows[off], coo.cols[off]])
+    c = np.concatenate([coo.cols[off], coo.rows[off]])
+    order = np.lexsort((c, r))
+    r, c = r[order], c[order]
+    n = coo.shape[0]
+    counts = np.bincount(r, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, c
+
+
+def rcm_ordering(coo: COOMatrix) -> np.ndarray:
+    """Reverse Cuthill–McKee permutation of a symmetric matrix.
+
+    Returns ``perm`` such that row/column ``perm[k]`` of the original
+    matrix becomes row/column ``k`` of the reordered one.  Disconnected
+    components are handled by restarting from the minimum-degree
+    unvisited vertex.
+    """
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("RCM requires a square (symmetric) matrix")
+    n = coo.shape[0]
+    indptr, indices = _adjacency(coo)
+    degree = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # Process components in min-degree order of their seeds.
+    seeds = np.argsort(degree, kind="stable")
+    seed_idx = 0
+    queue = deque()
+    while pos < n:
+        if not queue:
+            while visited[seeds[seed_idx]]:
+                seed_idx += 1
+            start = int(seeds[seed_idx])
+            visited[start] = True
+            queue.append(start)
+        v = queue.popleft()
+        order[pos] = v
+        pos += 1
+        # A symmetric canonical matrix already stores both (i, j) and
+        # (j, i), and the mirror pass doubles them again: dedupe.
+        nbrs = np.unique(indices[indptr[v]:indptr[v + 1]])
+        fresh = nbrs[~visited[nbrs]]
+        if fresh.size:
+            fresh = fresh[np.argsort(degree[fresh], kind="stable")]
+            visited[fresh] = True
+            queue.extend(int(x) for x in fresh)
+    return order[::-1].copy()  # the "reverse" of Cuthill–McKee
+
+
+def permute(coo: COOMatrix, perm: np.ndarray) -> COOMatrix:
+    """Symmetric permutation ``A' = P A Pᵀ`` given ``perm`` (old→position).
+
+    ``perm[k]`` is the original index placed at position ``k``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = coo.shape[0]
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("perm must be a permutation of range(nrows)")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n, dtype=np.int64)
+    c = coo.canonical()
+    return COOMatrix(coo.shape, inv[c.rows], inv[c.cols],
+                     c.vals.copy()).canonical()
+
+
+def bandwidth(coo: COOMatrix) -> int:
+    """Maximum |row − col| over stored entries (0 for diagonal/empty)."""
+    c = coo.canonical()
+    if c.nnz == 0:
+        return 0
+    return int(np.max(np.abs(c.rows - c.cols)))

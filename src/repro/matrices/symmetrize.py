@@ -1,0 +1,75 @@
+"""Symmetrization and value-fill preprocessing from Table 1.
+
+Both solvers require symmetric input.  The paper makes non-symmetric
+matrices symmetric by copying the transposed lower triangle over the
+upper triangle, ``A_new = L + Lᵀ − D``, and fills originally-binary
+matrices with random values "without breaking the symmetry".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.coo import COOMatrix
+
+__all__ = ["symmetrize_lower", "is_symmetric", "fill_binary_random"]
+
+
+def symmetrize_lower(coo: COOMatrix) -> COOMatrix:
+    """``A_new = L + Lᵀ − D`` where L is the lower triangle incl. diagonal.
+
+    Discards the strict upper triangle, mirrors the strict lower
+    triangle, keeps the diagonal once — the paper's rule for
+    non-symmetric inputs.  Requires a square matrix.
+    """
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("symmetrize_lower requires a square matrix")
+    coo = coo.canonical()
+    lower = coo.rows >= coo.cols
+    r, c, v = coo.rows[lower], coo.cols[lower], coo.vals[lower]
+    strict = r > c
+    rows = np.concatenate([r, c[strict]])
+    cols = np.concatenate([c, r[strict]])
+    vals = np.concatenate([v, v[strict]])
+    return COOMatrix(coo.shape, rows, cols, vals).canonical()
+
+
+def is_symmetric(coo: COOMatrix, tol: float = 0.0) -> bool:
+    """Check structural+numeric symmetry of a canonical COO matrix."""
+    if coo.shape[0] != coo.shape[1]:
+        return False
+    a = coo.canonical()
+    t = a.transpose().canonical()
+    if a.nnz != t.nnz:
+        return False
+    same_pattern = np.array_equal(a.rows, t.rows) and np.array_equal(
+        a.cols, t.cols
+    )
+    if not same_pattern:
+        return False
+    if tol == 0.0:
+        return bool(np.array_equal(a.vals, t.vals))
+    return bool(np.allclose(a.vals, t.vals, atol=tol, rtol=tol))
+
+
+def fill_binary_random(coo: COOMatrix, seed: int = 0) -> COOMatrix:
+    """Replace unit values of a symmetric binary matrix with random ones.
+
+    Symmetry is preserved by drawing one value per unordered pair
+    ``{i, j}`` from a pair-keyed hash of the indices, so ``(i, j)`` and
+    ``(j, i)`` receive the same value without any sorting or matching
+    pass.  Values are uniform in ``(0.1, 1.1)`` — bounded away from
+    zero so no entry cancels.
+    """
+    coo = coo.canonical()
+    lo = np.minimum(coo.rows, coo.cols).astype(np.uint64)
+    hi = np.maximum(coo.rows, coo.cols).astype(np.uint64)
+    # SplitMix64-style hash of the unordered pair key, salted by seed.
+    key = lo * np.uint64(0x9E3779B97F4A7C15) ^ (hi + np.uint64(seed))
+    key ^= key >> np.uint64(30)
+    key *= np.uint64(0xBF58476D1CE4E5B9)
+    key ^= key >> np.uint64(27)
+    key *= np.uint64(0x94D049BB133111EB)
+    key ^= key >> np.uint64(31)
+    vals = 0.1 + (key.astype(np.float64) / np.float64(2**64))
+    return COOMatrix(coo.shape, coo.rows.copy(), coo.cols.copy(), vals)

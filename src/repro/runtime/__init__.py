@@ -1,0 +1,52 @@
+"""Runtime systems: the four solver versions of the paper.
+
+* :class:`~repro.runtime.bsp.BSPRuntime` — fork-join library baseline
+  (``libcsr`` at one row chunk per core, ``libcsb`` at the CSB block
+  size).
+* :class:`~repro.runtime.deepsparse.DeepSparseRuntime` — OpenMP tasking
+  driven by DeepSparse's explicitly generated TDG.
+* :class:`~repro.runtime.hpx.HPXRuntime` — future/dataflow execution
+  with NUMA-aware scheduling hints.
+* :class:`~repro.runtime.regent.RegentRuntime` — region/privilege
+  dependence analysis with reserved utility cores.
+
+Each runtime takes the same task DAG (or builds it with its preferred
+options) and executes it on a simulated machine, returning a
+:class:`~repro.sim.engine.RunResult`.
+
+Two additional modules reproduce the paper's *programming models* on
+real threads: :mod:`repro.runtime.futures` is an HPX-style
+``async``/``dataflow`` API (Listing 2) and :mod:`repro.runtime.regions`
+is a Regent-style region/privilege API (Listing 3); both are exercised
+by the examples and by :class:`~repro.runtime.threaded.ThreadedRuntime`
+tests for numerical equivalence with the eager solvers.
+"""
+
+from repro.runtime.base import Runtime, build_solver_dag
+from repro.runtime.bsp import BSPRuntime, libcsr_partitions
+from repro.runtime.deepsparse import DeepSparseRuntime
+from repro.runtime.hpx import HPXRuntime
+from repro.runtime.regent import RegentRuntime
+from repro.runtime.futures import Future, async_run, dataflow, unwrapping
+from repro.runtime.regions import Region, Partition, task, RegionRuntime
+from repro.runtime.threaded import ThreadedRuntime, execute_dag_serial
+
+__all__ = [
+    "Runtime",
+    "build_solver_dag",
+    "BSPRuntime",
+    "libcsr_partitions",
+    "DeepSparseRuntime",
+    "HPXRuntime",
+    "RegentRuntime",
+    "Future",
+    "async_run",
+    "dataflow",
+    "unwrapping",
+    "Region",
+    "Partition",
+    "task",
+    "RegionRuntime",
+    "ThreadedRuntime",
+    "execute_dag_serial",
+]

@@ -1,0 +1,35 @@
+"""Discrete-event execution of task DAGs over the machine model.
+
+The engine plays a :class:`~repro.graph.dag.TaskDAG` on P simulated
+cores under a pluggable scheduling policy, charging each task its
+compute time (flops at a kernel-class efficiency) plus its memory time
+(cache-simulator misses priced per level, NUMA-aware at the DRAM
+level), plus the runtime's per-task overhead.  The paper's §5 premise —
+"all runtimes are executing the same DAG … their performance
+differences are due to the different scheduling algorithms" — is taken
+literally: one DAG, four policies.
+"""
+
+from repro.sim.cost import CostModel, KIND_EFFICIENCY
+from repro.sim.flowgraph import FlowGraph, FlowRecord
+from repro.sim.schedulers import (
+    Scheduler,
+    DeepSparseScheduler,
+    HPXScheduler,
+    RegentScheduler,
+)
+from repro.sim.engine import SimulationEngine, RunResult, run_bsp
+
+__all__ = [
+    "CostModel",
+    "KIND_EFFICIENCY",
+    "FlowGraph",
+    "FlowRecord",
+    "Scheduler",
+    "DeepSparseScheduler",
+    "HPXScheduler",
+    "RegentScheduler",
+    "SimulationEngine",
+    "RunResult",
+    "run_bsp",
+]

@@ -1,0 +1,124 @@
+"""Execution flow graphs — the data behind Figs. 10 and 13.
+
+Every executed task leaves a :class:`FlowRecord` (kernel, core, start,
+end, iteration).  :class:`FlowGraph` offers the reductions the paper's
+flow-graph discussion uses: per-kernel start/finish envelopes (to see
+pipelining — kernels overlapping in time — versus BSP's disjoint
+phases), per-core utilization, and an ASCII Gantt rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["FlowRecord", "FlowGraph"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One task execution."""
+
+    tid: int
+    kernel: str
+    core: int
+    start: float
+    end: float
+    iteration: int
+
+
+class FlowGraph:
+    """Append-only trace of task executions for one run."""
+
+    def __init__(self):
+        self.records: List[FlowRecord] = []
+
+    def record(self, tid, kernel, core, start, end, iteration) -> None:
+        self.records.append(
+            FlowRecord(tid, kernel, core, start, end, iteration)
+        )
+
+    def __len__(self):
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    # ------------------------------------------------------------------
+    def kernel_envelopes(self) -> Dict[str, Tuple[float, float]]:
+        """First start and last finish per kernel.
+
+        In a BSP execution the envelopes of consecutive kernels are
+        disjoint (barriers); in pipelined task execution they overlap —
+        the overlap fraction is the quantitative signature of Figs. 10
+        and 13.
+        """
+        env: Dict[str, Tuple[float, float]] = {}
+        for r in self.records:
+            lo, hi = env.get(r.kernel, (r.start, r.end))
+            env[r.kernel] = (min(lo, r.start), max(hi, r.end))
+        return env
+
+    def kernel_overlap_fraction(self) -> float:
+        """Fraction of kernel-envelope time shared with another kernel.
+
+        0 ⇒ perfectly phased (BSP-like); towards 1 ⇒ fully pipelined.
+        """
+        env = sorted(self.kernel_envelopes().values())
+        if len(env) < 2:
+            return 0.0
+        total = sum(hi - lo for lo, hi in env)
+        if total <= 0:
+            return 0.0
+        overlap = 0.0
+        for i, (lo1, hi1) in enumerate(env):
+            for lo2, hi2 in env[i + 1:]:
+                if lo2 >= hi1:
+                    break
+                overlap += max(0.0, min(hi1, hi2) - max(lo1, lo2))
+        return min(1.0, overlap / total)
+
+    def core_busy_time(self) -> Dict[int, float]:
+        busy: Dict[int, float] = {}
+        for r in self.records:
+            busy[r.core] = busy.get(r.core, 0.0) + (r.end - r.start)
+        return busy
+
+    def utilization(self, n_cores: int) -> float:
+        """Mean busy fraction over the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return sum(self.core_busy_time().values()) / (span * n_cores)
+
+    def iteration_spans(self) -> Dict[int, Tuple[float, float]]:
+        spans: Dict[int, Tuple[float, float]] = {}
+        for r in self.records:
+            lo, hi = spans.get(r.iteration, (r.start, r.end))
+            spans[r.iteration] = (min(lo, r.start), max(hi, r.end))
+        return spans
+
+    # ------------------------------------------------------------------
+    def to_gantt(self, width: int = 100, max_cores: int = 32) -> str:
+        """ASCII Gantt chart: one row per core, one letter per kernel."""
+        if not self.records:
+            return "(empty flow graph)"
+        span = self.makespan
+        kernels = sorted({r.kernel for r in self.records})
+        letters = {k: chr(ord("A") + i % 26) for i, k in enumerate(kernels)}
+        cores = sorted({r.core for r in self.records})[:max_cores]
+        lines = []
+        legend = "  ".join(f"{letters[k]}={k}" for k in kernels)
+        lines.append(f"makespan {span * 1e3:.3f} ms   {legend}")
+        for c in cores:
+            row = [" "] * width
+            for r in self.records:
+                if r.core != c:
+                    continue
+                a = int(r.start / span * (width - 1))
+                b = max(a + 1, int(r.end / span * (width - 1)) + 1)
+                for x in range(a, min(b, width)):
+                    row[x] = letters[r.kernel]
+            lines.append(f"core {c:3d} |{''.join(row)}|")
+        return "\n".join(lines)

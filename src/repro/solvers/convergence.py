@@ -1,0 +1,68 @@
+"""Convergence tracking for the iterative solvers.
+
+The paper excludes setup from all timings and reports per-iteration
+averages; the history object additionally lets tests assert monotone
+residual decrease and Ritz-value stabilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ConvergenceHistory"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Per-iteration residual norms and Ritz values."""
+
+    residuals: List[float] = field(default_factory=list)
+    values: List[np.ndarray] = field(default_factory=list)
+
+    def record(self, residual: float, values: Optional[np.ndarray] = None):
+        self.residuals.append(float(residual))
+        if values is not None:
+            self.values.append(np.asarray(values, dtype=float))
+
+    def __len__(self):
+        return len(self.residuals)
+
+    # ------------------------------------------------------------------
+    @property
+    def final_residual(self) -> float:
+        if not self.residuals:
+            raise ValueError("empty history")
+        return self.residuals[-1]
+
+    def reduction(self) -> float:
+        """Total residual reduction factor achieved."""
+        if len(self.residuals) < 2 or self.residuals[0] == 0:
+            return 1.0
+        return self.residuals[-1] / self.residuals[0]
+
+    def mostly_monotone(self, slack: float = 1.5) -> bool:
+        """True if residuals decrease up to occasional `slack` blips.
+
+        LOBPCG residuals are not strictly monotone; this checks the
+        trend without demanding per-step decrease.
+        """
+        r = self.residuals
+        violations = sum(
+            1 for a, b in zip(r, r[1:]) if b > a * slack
+        )
+        return violations <= max(1, len(r) // 5)
+
+    def value_drift(self, last: int = 3) -> float:
+        """Max |Δ| of the Ritz values over the last ``last`` records."""
+        if len(self.values) < 2:
+            return float("inf")
+        tail = self.values[-last:]
+        return float(
+            max(
+                np.max(np.abs(a - b))
+                for a, b in zip(tail, tail[1:])
+            )
+        ) if len(tail) >= 2 else float("inf")

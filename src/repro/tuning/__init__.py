@@ -1,0 +1,30 @@
+"""Block-size selection: the paper's §5.4 tuning heuristic.
+
+The CSB block size sets task granularity, degree of parallelism, and
+scheduling overhead at once.  The paper brute-forces block sizes from
+2¹⁰ to 2²⁴ and observes that the optimum always lands at a **block
+count** (blocks per dimension) between 8 and 511, reducing the search
+to six bucketed candidates; performance profiles over the matrix suite
+then rank the buckets per runtime and architecture (Fig. 14).
+"""
+
+from repro.tuning.blocksize import (
+    BLOCK_COUNT_BUCKETS,
+    block_size_for_count,
+    bucket_of_count,
+    candidate_block_sizes,
+    recommend_block_count,
+    sweep_block_sizes,
+)
+from repro.tuning.profiles import PerformanceProfile, performance_profiles
+
+__all__ = [
+    "BLOCK_COUNT_BUCKETS",
+    "block_size_for_count",
+    "bucket_of_count",
+    "candidate_block_sizes",
+    "recommend_block_count",
+    "sweep_block_sizes",
+    "PerformanceProfile",
+    "performance_profiles",
+]

@@ -1,0 +1,102 @@
+"""Block-count buckets and the rule-of-thumb selector (§5.4).
+
+"Choosing a small block size creates a large number of small tasks …
+ may lead to significant scheduling overheads.  Increasing the block
+ size reduces such overheads, but … increased thread idle times and
+ load imbalances."
+
+The optimum always yields 8–511 blocks per dimension, so candidate
+selection reduces to six buckets: 8–15, 16–31, 32–63, 64–127, 128–255,
+256–511.  The practical rule of thumb: 32–63 on Broadwell and 64–127 on
+EPYC for DeepSparse and HPX; 16–31 for Regent on both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "BLOCK_COUNT_BUCKETS",
+    "bucket_of_count",
+    "block_size_for_count",
+    "candidate_block_sizes",
+    "recommend_block_count",
+    "sweep_block_sizes",
+]
+
+#: The six block-count buckets of §5.4, as inclusive (lo, hi) ranges.
+BLOCK_COUNT_BUCKETS: List[Tuple[int, int]] = [
+    (8, 15), (16, 31), (32, 63), (64, 127), (128, 255), (256, 511),
+]
+
+#: Paper rule of thumb: preferred bucket per (runtime, machine).
+RULE_OF_THUMB: Dict[Tuple[str, str], Tuple[int, int]] = {
+    ("deepsparse", "broadwell"): (32, 63),
+    ("deepsparse", "epyc"): (64, 127),
+    ("hpx", "broadwell"): (64, 127),
+    ("hpx", "epyc"): (64, 127),
+    ("regent", "broadwell"): (16, 31),
+    ("regent", "epyc"): (16, 31),
+}
+
+
+def bucket_of_count(block_count: int) -> Tuple[int, int]:
+    """The §5.4 bucket containing a block count.
+
+    Raises ``ValueError`` outside 8–511 — the paper's observation is
+    precisely that optima never fall outside this range.
+    """
+    for lo, hi in BLOCK_COUNT_BUCKETS:
+        if lo <= block_count <= hi:
+            return (lo, hi)
+    raise ValueError(
+        f"block count {block_count} outside the 8-511 range of §5.4"
+    )
+
+
+def block_size_for_count(nrows: int, block_count: int) -> int:
+    """CSB block size giving ``block_count`` blocks per dimension."""
+    if block_count <= 0:
+        raise ValueError("block_count must be positive")
+    return max(1, -(-nrows // block_count))
+
+
+def candidate_block_sizes(nrows: int) -> Dict[Tuple[int, int], int]:
+    """One representative block size per bucket (bucket midpoint).
+
+    This is the six-candidate search the heuristic reduces tuning to.
+    """
+    out = {}
+    for lo, hi in BLOCK_COUNT_BUCKETS:
+        mid = (lo + hi) // 2
+        if mid >= nrows:  # degenerate for tiny matrices
+            continue
+        out[(lo, hi)] = block_size_for_count(nrows, mid)
+    return out
+
+
+def recommend_block_count(runtime: str, machine: str) -> Tuple[int, int]:
+    """The paper's rule-of-thumb bucket for a runtime/architecture pair."""
+    try:
+        return RULE_OF_THUMB[(runtime, machine)]
+    except KeyError:
+        raise KeyError(
+            f"no rule of thumb for ({runtime!r}, {machine!r}); known: "
+            f"{sorted(RULE_OF_THUMB)}"
+        ) from None
+
+
+def sweep_block_sizes(
+    nrows: int,
+    run_at: Callable[[int], float],
+    buckets=None,
+) -> Dict[Tuple[int, int], float]:
+    """Evaluate ``run_at(block_size) -> time`` for each bucket candidate.
+
+    Returns bucket → execution time; the caller picks the argmin (and
+    feeds the table to :func:`repro.tuning.profiles.performance_profiles`).
+    """
+    cands = candidate_block_sizes(nrows)
+    if buckets is not None:
+        cands = {b: s for b, s in cands.items() if b in buckets}
+    return {bucket: run_at(size) for bucket, size in cands.items()}

@@ -1,0 +1,65 @@
+"""Performance profiles (Dolan–Moré curves) over block-count buckets.
+
+Fig. 14 compares the six block-count buckets per runtime/architecture:
+for each matrix, each bucket's execution time is divided by the best
+bucket's time on that matrix; the profile at τ is the fraction of
+matrices where a bucket is within τ× of the best.  Higher and earlier
+curves are better buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["PerformanceProfile", "performance_profiles"]
+
+
+@dataclass
+class PerformanceProfile:
+    """Profile of one bucket over a set of problem instances."""
+
+    bucket: Tuple[int, int]
+    ratios: List[float] = field(default_factory=list)
+
+    def value_at(self, tau: float) -> float:
+        """Fraction of instances within ``tau`` of the per-instance best."""
+        if not self.ratios:
+            return 0.0
+        return sum(1 for r in self.ratios if r <= tau) / len(self.ratios)
+
+    def curve(self, taus: Sequence[float]) -> List[float]:
+        return [self.value_at(t) for t in taus]
+
+    def area(self, tau_max: float = 2.0, steps: int = 50) -> float:
+        """Area under the profile on [1, tau_max] — the ranking score."""
+        taus = [1.0 + (tau_max - 1.0) * k / (steps - 1) for k in range(steps)]
+        vals = self.curve(taus)
+        h = (tau_max - 1.0) / (steps - 1)
+        return sum((a + b) * 0.5 * h for a, b in zip(vals, vals[1:]))
+
+
+def performance_profiles(
+    times: Dict[str, Dict[Tuple[int, int], float]]
+) -> Dict[Tuple[int, int], PerformanceProfile]:
+    """Build bucket profiles from per-matrix bucket times.
+
+    Parameters
+    ----------
+    times:
+        ``matrix name -> {bucket: execution time}``.  Buckets missing
+        on some matrix are treated as absent from that instance (not
+        penalized), matching how degenerate small-matrix buckets are
+        dropped.
+    """
+    buckets = sorted({b for per in times.values() for b in per})
+    profiles = {b: PerformanceProfile(b) for b in buckets}
+    for _mat, per in times.items():
+        if not per:
+            continue
+        best = min(per.values())
+        if best <= 0:
+            raise ValueError("non-positive execution time in profile input")
+        for b, t in per.items():
+            profiles[b].ratios.append(t / best)
+    return profiles

@@ -1,0 +1,54 @@
+"""Shared fixtures: small matrices, DAGs, and machine models.
+
+Everything is seeded; tests must be deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import broadwell, epyc
+from repro.matrices import CSBMatrix, CSRMatrix, load_matrix
+from repro.matrices.coo import COOMatrix
+from repro.matrices.generators import random_symmetric
+
+
+@pytest.fixture(scope="session")
+def small_sym_coo():
+    """A 200×200 symmetric diagonally dominant matrix."""
+    return random_symmetric(200, nnz_per_row=8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_csb(small_sym_coo):
+    return CSBMatrix.from_coo(small_sym_coo, 32)
+
+
+@pytest.fixture(scope="session")
+def small_csr(small_sym_coo):
+    return CSRMatrix.from_coo(small_sym_coo)
+
+
+@pytest.fixture(scope="session")
+def suite_matrix():
+    """One scaled Table 1 matrix (fast to generate)."""
+    return load_matrix("inline1", scale=16384)
+
+
+@pytest.fixture(scope="session")
+def suite_csb(suite_matrix):
+    return CSBMatrix.from_coo(suite_matrix, 128)
+
+
+@pytest.fixture(scope="session")
+def bw():
+    return broadwell()
+
+
+@pytest.fixture(scope="session")
+def ep():
+    return epyc()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,90 @@
+"""Analysis helpers: metrics, tables, gantt text, experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_versions,
+    normalized_miss_table,
+    render_bars,
+    render_flow,
+    render_table,
+    speedup_table,
+)
+from repro.analysis.experiment import run_cell, run_version
+from repro.machine.perf import PerfCounters
+from repro.sim.engine import RunResult
+from repro.sim.flowgraph import FlowGraph
+
+
+def fake_result(t, misses=(100, 50, 20)):
+    c = PerfCounters()
+    c.record_task("SPMM", t, misses, 0.0, t / 2, t / 2)
+    return RunResult("broadwell", "x", t, [t], c, FlowGraph(), 28, 1)
+
+
+def test_comparison_requires_baseline():
+    with pytest.raises(ValueError, match="libcsr"):
+        compare_versions("m", "lanczos", "broadwell",
+                         {"hpx": fake_result(1.0)})
+
+
+def test_speedup_and_miss_reduction():
+    c = compare_versions("m", "lanczos", "broadwell", {
+        "libcsr": fake_result(2.0, (100, 100, 100)),
+        "hpx": fake_result(1.0, (50, 25, 100)),
+    })
+    assert c.speedup("hpx") == pytest.approx(2.0)
+    assert c.miss_reduction("hpx", 1) == pytest.approx(2.0)
+    assert c.miss_reduction("hpx", 2) == pytest.approx(4.0)
+    assert c.miss_reduction("hpx", 3) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        c.miss_reduction("hpx", 4)
+
+
+def test_tables_from_comparisons():
+    c = compare_versions("m", "lanczos", "broadwell", {
+        "libcsr": fake_result(2.0),
+        "hpx": fake_result(1.0),
+    })
+    st = speedup_table([c])
+    assert st["m"]["hpx"] == pytest.approx(2.0)
+    mt = normalized_miss_table([c], level=1)
+    assert "hpx" in mt["m"]
+
+
+def test_render_table_alignment():
+    text = render_table({"row1": {"a": 1.5, "b": 2.0},
+                         "row2": {"a": 3.0}})
+    lines = text.splitlines()
+    assert "row1" in lines[2] and "1.50" in lines[2]
+    assert lines[3].rstrip().endswith("-")  # missing value placeholder
+
+
+def test_render_bars():
+    text = render_bars({"x": 1.0, "y": 2.0}, width=10)
+    assert text.count("#") == 15  # 5 + 10
+    assert "(empty)" == render_bars({})
+
+
+def test_render_flow_smoke():
+    r = run_version("broadwell", "inline1", "lanczos", "deepsparse",
+                    block_count=32, iterations=1)
+    text = render_flow(r, width=40, max_cores=4)
+    assert "deepsparse on broadwell" in text
+    assert "kernel overlap fraction" in text
+    assert "SPMV" in text
+
+
+def test_run_cell_includes_baseline():
+    c = run_cell("broadwell", "inline1", "lanczos", block_count=32,
+                 iterations=1, versions=["hpx"])
+    assert set(c.results) == {"libcsr", "hpx"}
+    assert c.speedup("hpx") > 0
+
+
+def test_run_version_unknowns():
+    with pytest.raises(ValueError, match="unknown version"):
+        run_version("broadwell", "inline1", "lanczos", "tbb")
+    with pytest.raises(ValueError, match="unknown solver"):
+        run_version("broadwell", "inline1", "jacobi", "hpx")

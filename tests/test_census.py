@@ -1,0 +1,71 @@
+"""Block censuses: CSB compatibility and full-scale generation."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.census import BlockCensus, census_for, census_from_csb
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.suite import SUITE
+
+
+def test_census_from_csb_exact(small_csb):
+    cen = census_from_csb(small_csb)
+    np.testing.assert_array_equal(cen.grid, small_csb.block_nnz_grid())
+    assert cen.nnz == small_csb.nnz
+    assert cen.nonempty_blocks() == small_csb.nonempty_blocks()
+    assert cen.n_empty_blocks() == small_csb.n_empty_blocks()
+    for i in range(cen.nbr):
+        assert cen.row_block_bounds(i) == small_csb.row_block_bounds(i)
+
+
+def test_census_shape_validation():
+    with pytest.raises(ValueError, match="grid must be"):
+        BlockCensus((100, 100), 10, np.zeros((5, 5), dtype=np.int64))
+    with pytest.raises(ValueError, match="non-negative"):
+        BlockCensus((20, 20), 10, -np.ones((2, 2), dtype=np.int64))
+
+
+@pytest.mark.parametrize("name", [
+    "inline1", "nlpkkt160", "twitter7", "mawi_201512020130", "Nm7",
+])
+def test_full_scale_census_totals(name):
+    spec = SUITE[name]
+    bs = -(-spec.paper_rows // 64)
+    cen = census_for(spec, bs)
+    assert cen.shape[0] == spec.paper_rows
+    # total nonzeros within 30% of Table 1 (rounding + symmetrization)
+    assert 0.7 < cen.nnz / spec.paper_nnz < 1.3
+    # census symmetric at block level
+    np.testing.assert_array_equal(cen.grid, cen.grid.T)
+
+
+def test_census_deterministic():
+    a = census_for(SUITE["nlpkkt160"], 200_000)
+    b = census_for(SUITE["nlpkkt160"], 200_000)
+    np.testing.assert_array_equal(a.grid, b.grid)
+
+
+def test_census_band_structure():
+    """FEM censuses concentrate mass near the block diagonal."""
+    cen = census_for(SUITE["Flan_1565"], -(-SUITE["Flan_1565"].paper_rows // 64))
+    grid = cen.grid
+    diag_mass = sum(grid[i, max(0, i - 2):i + 3].sum() for i in range(cen.nbr))
+    assert diag_mass / grid.sum() > 0.9
+
+
+def test_census_web_fills_grid():
+    """Power-law censuses leave few empty blocks at coarse tiling."""
+    spec = SUITE["twitter7"]
+    cen = census_for(spec, -(-spec.paper_rows // 32))
+    assert cen.n_empty_blocks() < 0.3 * cen.nbr * cen.nbc
+
+
+def test_census_block_count_guard():
+    with pytest.raises(ValueError, match="4096"):
+        census_for(SUITE["mawi_201512020130"], 1024)  # 125k block rows
+
+
+def test_scaled_matrix_census_agrees_with_family(suite_csb):
+    """Entry-level scaled matrix and its own census stay consistent."""
+    cen = census_from_csb(suite_csb)
+    assert cen.nnz == suite_csb.nnz

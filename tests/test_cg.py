@@ -1,0 +1,99 @@
+"""Conjugate Gradient solver: eager correctness and DAG equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.generators import banded_fem, random_symmetric
+from repro.runtime import ThreadedRuntime, build_solver_dag, execute_dag_serial
+from repro.solvers import Workspace, cg, cg_trace
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return CSBMatrix.from_coo(banded_fem(300, 8, seed=21), 60)
+
+
+def test_cg_solves_spd_system(spd, rng):
+    b = rng.standard_normal(spd.shape[0])
+    res = cg(spd, b, maxiter=300, tol=1e-12)
+    assert res.converged
+    x = res.x[:, 0]
+    assert np.linalg.norm(spd.spmv(x) - b) < 1e-8 * np.linalg.norm(b)
+
+
+def test_cg_matches_dense_solve(spd, rng):
+    b = rng.standard_normal(spd.shape[0])
+    res = cg(spd, b, maxiter=400, tol=1e-13)
+    xref = np.linalg.solve(spd.to_dense(), b)
+    np.testing.assert_allclose(res.x[:, 0], xref, atol=1e-7)
+
+
+def test_cg_warm_start(spd, rng):
+    b = rng.standard_normal(spd.shape[0])
+    xref = np.linalg.solve(spd.to_dense(), b)
+    near = xref + 1e-6 * rng.standard_normal(spd.shape[0])
+    res = cg(spd, b, maxiter=50, tol=1e-10, x0=near)
+    assert res.converged
+    assert res.iterations < 20  # warm start converges quickly
+
+
+def test_cg_residual_monotone_overall(spd, rng):
+    b = rng.standard_normal(spd.shape[0])
+    res = cg(spd, b, maxiter=100, tol=1e-12)
+    assert res.history.reduction() < 1e-8
+
+
+def test_cg_shape_validation(spd):
+    with pytest.raises(ValueError, match="length mismatch"):
+        cg(spd, np.ones(spd.shape[0] + 1))
+
+
+def test_cg_dag_equivalence(spd, rng):
+    """The CG task DAG iterated serially reproduces the eager solve."""
+    b = rng.standard_normal((spd.shape[0], 1))
+    calls, chunked, small = cg_trace(spd)
+    dag = build_solver_dag(spd, calls, chunked, small)
+    assert "SPMV" in dag.by_kernel()
+    ws = Workspace(spd, chunked, small)
+    ws.full("r")[:] = b
+    ws.full("p")[:] = b
+    ws.set_scalar("rho", float(b.ravel() @ b.ravel()))
+    for _ in range(60):
+        execute_dag_serial(dag, ws)
+    x = ws.full("x")[:, 0]
+    resid = np.linalg.norm(spd.spmv(x) - b.ravel())
+    assert resid < 1e-8 * np.linalg.norm(b)
+
+
+def test_cg_dag_threaded(spd, rng):
+    b = rng.standard_normal((spd.shape[0], 1))
+    calls, chunked, small = cg_trace(spd)
+    dag = build_solver_dag(spd, calls, chunked, small)
+    ws = Workspace(spd, chunked, small)
+    ws.full("r")[:] = b
+    ws.full("p")[:] = b
+    ws.set_scalar("rho", float(b.ravel() @ b.ravel()))
+    ThreadedRuntime(4).execute(dag, ws, iterations=40)
+    x = ws.full("x")[:, 0]
+    assert np.linalg.norm(spd.spmv(x) - b.ravel()) < \
+        1e-6 * np.linalg.norm(b)
+
+
+def test_cg_simulated_on_all_runtimes():
+    """CG runs at paper scale under every simulated runtime."""
+    from repro.machine import broadwell
+    from repro.matrices.census import census_for
+    from repro.matrices.suite import SUITE
+    from repro.runtime import BSPRuntime, DeepSparseRuntime, HPXRuntime
+
+    spec = SUITE["nlpkkt160"]
+    cen = census_for(spec, -(-spec.paper_rows // 64))
+    calls, chunked, small = cg_trace(cen)
+    mach = broadwell()
+    base = BSPRuntime(mach, "libcsr").run(cen, calls, chunked, small,
+                                          iterations=2)
+    for rt in (DeepSparseRuntime(mach), HPXRuntime(mach)):
+        r = rt.run(cen, calls, chunked, small, iterations=2)
+        assert r.counters.tasks_executed == 2 * r.n_tasks_per_iteration
+        assert r.speedup_over(base) > 0.5

@@ -1,0 +1,55 @@
+"""CLI: every subcommand runs and prints the expected tables."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "inline1" in out and "mawi_201512020130" in out
+    assert "1,909,906,755" in out  # sk-2005 nonzeros from Table 1
+
+
+def test_solve_lobpcg(capsys):
+    assert main(["solve", "--matrix", "inline1", "--scale", "16384",
+                 "--solver", "lobpcg", "--nev", "2",
+                 "--maxiter", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "smallest eigenvalues" in out
+
+
+def test_solve_lanczos(capsys):
+    assert main(["solve", "--matrix", "inline1", "--scale", "16384",
+                 "--solver", "lanczos"]) == 0
+    assert "extreme eigenvalues" in capsys.readouterr().out
+
+
+def test_solve_cg(capsys):
+    assert main(["solve", "--matrix", "inline1", "--scale", "16384",
+                 "--solver", "cg"]) == 0
+    out = capsys.readouterr().out
+    assert "converged: True" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--matrix", "inline1", "--solver", "lanczos",
+                 "--machine", "broadwell", "--block-count", "32",
+                 "--iterations", "1"]) == 0
+    out = capsys.readouterr().out
+    for v in ("libcsr", "libcsb", "deepsparse", "hpx", "regent"):
+        assert v in out
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "--matrix", "inline1", "--runtime", "deepsparse",
+                 "--machine", "broadwell", "--solver", "lanczos"]) == 0
+    out = capsys.readouterr().out
+    assert "best bucket" in out
+    assert "rule of thumb" in out

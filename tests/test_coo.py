@@ -1,0 +1,73 @@
+"""COO format: construction, canonicalization, reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.coo import COOMatrix
+
+
+def test_empty_matrix():
+    a = COOMatrix.empty((5, 7))
+    assert a.nnz == 0
+    assert a.to_dense().shape == (5, 7)
+    assert not a.to_dense().any()
+
+
+def test_from_dense_roundtrip(rng):
+    d = rng.standard_normal((9, 13))
+    d[d < 0.5] = 0.0
+    a = COOMatrix.from_dense(d)
+    np.testing.assert_array_equal(a.to_dense(), d)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="identical shapes"):
+        COOMatrix((3, 3), [0, 1], [0], [1.0])
+
+
+def test_index_out_of_range_rejected():
+    with pytest.raises(ValueError, match="row index"):
+        COOMatrix((3, 3), [5], [0], [1.0])
+    with pytest.raises(ValueError, match="col index"):
+        COOMatrix((3, 3), [0], [4], [1.0])
+
+
+def test_canonical_sorts_and_merges():
+    a = COOMatrix((4, 4), [2, 0, 2, 0], [1, 3, 1, 3], [1.0, 2.0, 3.0, -2.0])
+    c = a.canonical()
+    # duplicates summed: (2,1)=4, (0,3)=0 (explicit zero kept)
+    assert c.nnz == 2
+    assert list(c.rows) == [0, 2]
+    assert list(c.cols) == [3, 1]
+    np.testing.assert_allclose(c.vals, [0.0, 4.0])
+
+
+def test_canonical_idempotent(small_sym_coo):
+    c = small_sym_coo.canonical()
+    assert c.canonical() is c
+
+
+def test_canonical_preserves_dense(rng):
+    rows = rng.integers(0, 20, 100)
+    cols = rng.integers(0, 20, 100)
+    vals = rng.standard_normal(100)
+    a = COOMatrix((20, 20), rows, cols, vals)
+    np.testing.assert_allclose(a.to_dense(), a.canonical().to_dense())
+
+
+def test_transpose_dense_agreement(small_sym_coo):
+    a = small_sym_coo
+    np.testing.assert_allclose(a.transpose().to_dense(), a.to_dense().T)
+
+
+def test_spmv_matches_dense(small_sym_coo, rng):
+    x = rng.standard_normal(small_sym_coo.shape[1])
+    np.testing.assert_allclose(
+        small_sym_coo.spmv(x), small_sym_coo.to_dense() @ x
+    )
+
+
+def test_row_nnz_totals(small_sym_coo):
+    rn = small_sym_coo.canonical().row_nnz()
+    assert rn.sum() == small_sym_coo.canonical().nnz
+    assert rn.shape == (small_sym_coo.shape[0],)

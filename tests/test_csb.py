@@ -1,0 +1,98 @@
+"""CSB format: blocking geometry, block census, tile kernels."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.coo import COOMatrix
+from repro.matrices.csb import CSBMatrix
+
+
+def test_roundtrip_dense(small_sym_coo):
+    csb = CSBMatrix.from_coo(small_sym_coo, 32)
+    np.testing.assert_allclose(csb.to_dense(), small_sym_coo.to_dense())
+
+
+@pytest.mark.parametrize("b", [1, 7, 32, 200, 500])
+def test_block_geometry(small_sym_coo, b):
+    csb = CSBMatrix.from_coo(small_sym_coo, b)
+    assert csb.nbr == -(-200 // b)
+    assert csb.nbc == -(-200 // b)
+    # bounds tile the row range exactly
+    ends = [csb.row_block_bounds(i) for i in range(csb.nbr)]
+    assert ends[0][0] == 0 and ends[-1][1] == 200
+    for (s1, e1), (s2, _e2) in zip(ends, ends[1:]):
+        assert e1 == s2
+
+
+def test_block_nnz_grid_totals(small_csb, small_sym_coo):
+    grid = small_csb.block_nnz_grid()
+    assert grid.sum() == small_sym_coo.canonical().nnz
+    assert grid.shape == (small_csb.nbr, small_csb.nbc)
+
+
+def test_nonempty_blocks_match_grid(small_csb):
+    grid = small_csb.block_nnz_grid()
+    nz = set(small_csb.nonempty_blocks())
+    for i in range(small_csb.nbr):
+        for j in range(small_csb.nbc):
+            assert ((i, j) in nz) == (grid[i, j] > 0)
+    assert small_csb.n_empty_blocks() == (grid == 0).sum()
+
+
+def test_block_view_local_coords(small_csb):
+    i, j = small_csb.nonempty_blocks()[0]
+    blk = small_csb.block(i, j)
+    assert blk.nnz == small_csb.block_nnz(i, j)
+    b = small_csb.block_size
+    assert blk.rows.max() < b and blk.cols.max() < b
+    assert blk.rows.min() >= 0 and blk.cols.min() >= 0
+
+
+def test_block_out_of_range(small_csb):
+    with pytest.raises(IndexError):
+        small_csb.block(small_csb.nbr, 0)
+
+
+def test_blkptr_nonempty_test_matches_listing3(small_csb):
+    # the paper's test: blkptrs[i*np+j] < blkptrs[i*np+j+1]
+    bp = small_csb.blk_ptr
+    nbc = small_csb.nbc
+    for i, j in small_csb.nonempty_blocks():
+        assert bp[i * nbc + j] < bp[i * nbc + j + 1]
+
+
+def test_spmv_matches_csr(small_csb, small_csr, rng):
+    x = rng.standard_normal(small_csb.shape[1])
+    np.testing.assert_allclose(small_csb.spmv(x), small_csr.spmv(x),
+                               atol=1e-12)
+
+
+def test_spmm_matches_csr(small_csb, small_csr, rng):
+    X = rng.standard_normal((small_csb.shape[1], 4))
+    np.testing.assert_allclose(small_csb.spmm(X), small_csr.spmm(X),
+                               atol=1e-12)
+
+
+def test_block_spmm_accumulates(small_csb, rng):
+    """block_spmm adds into Y (the dependency-chained accumulate)."""
+    i, j = small_csb.nonempty_blocks()[0]
+    rs, re = small_csb.row_block_bounds(i)
+    cs, ce = small_csb.col_block_bounds(j)
+    X = rng.standard_normal((ce - cs, 3))
+    Y = rng.standard_normal((re - rs, 3))
+    expected = Y + small_csb.to_dense()[rs:re, cs:ce] @ X
+    small_csb.block_spmm(i, j, X, Y)
+    np.testing.assert_allclose(Y, expected, atol=1e-12)
+
+
+def test_ragged_tail_block():
+    coo = COOMatrix((10, 10), [9], [9], [3.0])
+    csb = CSBMatrix.from_coo(coo, 4)  # 3 block rows, tail of 2
+    assert csb.row_block_bounds(2) == (8, 10)
+    assert csb.block_nnz(2, 2) == 1
+    np.testing.assert_allclose(csb.spmv(np.ones(10))[9], 3.0)
+
+
+def test_invalid_block_size(small_sym_coo):
+    with pytest.raises(ValueError, match="positive"):
+        CSBMatrix.from_coo(small_sym_coo, 0)

@@ -1,0 +1,86 @@
+"""Distributed HPX prototype: cluster model and scaling behaviour."""
+
+import pytest
+
+from repro.analysis.experiment import _trace
+from repro.distributed import (
+    ClusterSpec,
+    DistributedHPXRuntime,
+    ethernet_cluster,
+    ib_cluster,
+)
+from repro.machine import broadwell
+from repro.matrices.suite import SUITE
+from repro.runtime.base import build_solver_dag
+from repro.tuning.blocksize import block_size_for_count
+
+
+@pytest.fixture(scope="module")
+def dag():
+    bs = block_size_for_count(SUITE["nlpkkt160"].paper_rows, 64)
+    cen, calls, chunked, small = _trace("nlpkkt160", bs, "lobpcg", 8)
+    return build_solver_dag(cen, calls, chunked, small)
+
+
+def test_cluster_validation(bw):
+    with pytest.raises(ValueError, match="at least one"):
+        ClusterSpec(bw, 0, 1e-6, 1e9)
+    with pytest.raises(ValueError, match="interconnect"):
+        ClusterSpec(bw, 2, 1e-6, 0)
+
+
+def test_message_and_collective_model(bw):
+    c = ClusterSpec(bw, 8, link_latency=1e-6, link_bandwidth=1e9)
+    assert c.message_time(0) == pytest.approx(1e-6)
+    assert c.message_time(1e9) == pytest.approx(1.000001)
+    # 8 nodes: tree depth 3, up+down
+    assert c.allreduce_time(0) == pytest.approx(6e-6)
+    assert c.barrier_time() == pytest.approx(6e-6)
+    single = ClusterSpec(bw, 1, 1e-6, 1e9)
+    assert single.allreduce_time(1000) == 0.0
+
+
+def test_single_node_has_no_communication(dag, bw):
+    r = DistributedHPXRuntime(ib_cluster(bw, 1)).execute(dag)
+    assert r.halo_time == 0.0
+    assert r.allreduce_time == 0.0
+    assert r.halo_bytes == 0.0
+    assert r.time_per_iteration == pytest.approx(r.compute_time)
+
+
+def test_all_tasks_executed_across_nodes(dag, bw):
+    r = DistributedHPXRuntime(ib_cluster(bw, 4)).execute(dag)
+    assert len(r.node_times) == 4
+    assert all(t > 0 for t in r.node_times)  # every node got work
+
+
+def test_compute_shrinks_with_nodes(dag, bw):
+    r1 = DistributedHPXRuntime(ib_cluster(bw, 1)).execute(dag)
+    r4 = DistributedHPXRuntime(ib_cluster(bw, 4)).execute(dag)
+    assert r4.compute_time < r1.compute_time
+    assert r4.halo_time > 0  # distribution is not free
+
+
+def test_strong_scaling_monotone_on_fast_fabric(dag, bw):
+    times = [
+        DistributedHPXRuntime(ib_cluster(bw, n)).execute(dag)
+        .time_per_iteration
+        for n in (1, 2, 4)
+    ]
+    # total time never increases on InfiniBand for this problem size
+    assert times[1] <= times[0] * 1.05
+    assert times[2] <= times[1] * 1.05
+
+
+def test_slow_fabric_is_communication_bound(dag, bw):
+    ib = DistributedHPXRuntime(ib_cluster(bw, 8)).execute(dag)
+    eth = DistributedHPXRuntime(ethernet_cluster(bw, 8)).execute(dag)
+    assert eth.halo_time > ib.halo_time * 3
+    assert eth.time_per_iteration > ib.time_per_iteration
+
+
+def test_efficiency_below_one(dag, bw):
+    single = DistributedHPXRuntime(ib_cluster(bw, 1)).execute(dag)
+    r8 = DistributedHPXRuntime(ib_cluster(bw, 8)).execute(dag)
+    eff = r8.parallel_efficiency(single)
+    assert 0.0 < eff < 1.0

@@ -1,0 +1,56 @@
+"""Regent dynamic tracing (§5.1): replay skips the analysis pipeline."""
+
+import pytest
+
+from repro.analysis.experiment import _trace
+from repro.machine import broadwell
+from repro.matrices.suite import SUITE
+from repro.runtime import RegentRuntime
+from repro.sim.schedulers import RegentScheduler
+from repro.tuning.blocksize import block_size_for_count
+
+
+@pytest.fixture(scope="module")
+def problem():
+    bs = block_size_for_count(SUITE["nlpkkt160"].paper_rows, 48)
+    return _trace("nlpkkt160", bs, "lanczos", 20)
+
+
+def test_replay_release_times_cheaper(problem):
+    cen, calls, chunked, small = problem
+    from repro.machine.memory import MemoryModel
+    from repro.runtime.base import build_solver_dag
+
+    dag = build_solver_dag(cen, calls, chunked, small)
+    mach = broadwell()
+    mem = MemoryModel(mach, n_parts=dag.n_partitions)
+    s = RegentScheduler(dynamic_tracing=True)
+    s.prepare(dag, mach, mem)
+    last = len(dag) - 1
+    # iteration 0: full analysis; iteration 1+: memoized replay
+    s.reset_iteration(0, 0.0)
+    t_capture = s.release_time(last, 0.0)
+    s.reset_iteration(1, 0.0)
+    t_replay = s.release_time(last, 0.0)
+    assert t_replay < t_capture * 0.25
+
+
+def test_tracing_never_slower(problem):
+    cen, calls, chunked, small = problem
+    mach = broadwell()
+    plain = RegentRuntime(mach).run(cen, calls, chunked, small,
+                                    iterations=3)
+    traced = RegentRuntime(mach, dynamic_tracing=True).run(
+        cen, calls, chunked, small, iterations=3)
+    assert traced.total_time <= plain.total_time * 1.02
+
+
+def test_first_iteration_identical(problem):
+    """Capture iteration pays the full analysis either way."""
+    cen, calls, chunked, small = problem
+    mach = broadwell()
+    plain = RegentRuntime(mach).run(cen, calls, chunked, small,
+                                    iterations=1)
+    traced = RegentRuntime(mach, dynamic_tracing=True).run(
+        cen, calls, chunked, small, iterations=1)
+    assert traced.total_time == pytest.approx(plain.total_time, rel=1e-9)

@@ -1,0 +1,76 @@
+"""Flow graph reductions: envelopes, overlap, utilization, Gantt text."""
+
+import pytest
+
+from repro.sim.flowgraph import FlowGraph
+
+
+def make_flow(records):
+    f = FlowGraph()
+    for tid, kernel, core, s, e, it in records:
+        f.record(tid, kernel, core, s, e, it)
+    return f
+
+
+def test_empty_flow():
+    f = FlowGraph()
+    assert f.makespan == 0.0
+    assert f.kernel_overlap_fraction() == 0.0
+    assert f.utilization(4) == 0.0
+    assert "(empty" in f.to_gantt()
+
+
+def test_envelopes():
+    f = make_flow([
+        (0, "SPMM", 0, 0.0, 1.0, 0),
+        (1, "SPMM", 1, 0.5, 2.0, 0),
+        (2, "XY", 0, 1.0, 3.0, 0),
+    ])
+    env = f.kernel_envelopes()
+    assert env["SPMM"] == (0.0, 2.0)
+    assert env["XY"] == (1.0, 3.0)
+    assert f.makespan == 3.0
+
+
+def test_overlap_fraction_phased_vs_pipelined():
+    phased = make_flow([
+        (0, "A", 0, 0.0, 1.0, 0),
+        (1, "B", 0, 1.0, 2.0, 0),
+    ])
+    assert phased.kernel_overlap_fraction() == 0.0
+    pipelined = make_flow([
+        (0, "A", 0, 0.0, 2.0, 0),
+        (1, "B", 1, 0.0, 2.0, 0),
+    ])
+    assert pipelined.kernel_overlap_fraction() == pytest.approx(0.5)
+
+
+def test_core_busy_and_utilization():
+    f = make_flow([
+        (0, "A", 0, 0.0, 2.0, 0),
+        (1, "A", 1, 0.0, 1.0, 0),
+    ])
+    busy = f.core_busy_time()
+    assert busy == {0: 2.0, 1: 1.0}
+    assert f.utilization(2) == pytest.approx(3.0 / 4.0)
+
+
+def test_iteration_spans():
+    f = make_flow([
+        (0, "A", 0, 0.0, 1.0, 0),
+        (1, "A", 0, 1.0, 2.5, 1),
+    ])
+    spans = f.iteration_spans()
+    assert spans[0] == (0.0, 1.0)
+    assert spans[1] == (1.0, 2.5)
+
+
+def test_gantt_renders_all_cores_and_legend():
+    f = make_flow([
+        (0, "SPMM", 0, 0.0, 1.0, 0),
+        (1, "XY", 3, 1.0, 2.0, 0),
+    ])
+    text = f.to_gantt(width=40)
+    assert "A=SPMM" in text and "B=XY" in text
+    assert "core   0" in text and "core   3" in text
+    assert "A" in text.splitlines()[1]

@@ -1,0 +1,99 @@
+"""Matrix generators and the Table 1 suite."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators as G
+from repro.matrices.suite import SUITE, SUITE_ORDER, load_matrix, load_suite
+from repro.matrices.symmetrize import is_symmetric
+
+
+@pytest.mark.parametrize("gen,kwargs", [
+    (G.banded_fem, {"nnz_per_row": 10}),
+    (G.kkt_saddle, {}),
+    (G.rmat_graph, {"nnz_target": 4000}),
+    (G.traffic_hub, {"nnz_target": 1500}),
+    (G.ci_hamiltonian, {"nnz_per_row": 12, "n_groups": 8}),
+    (G.random_symmetric, {"nnz_per_row": 6}),
+])
+def test_generator_symmetric_and_spd(gen, kwargs):
+    a = gen(300, seed=5, **kwargs)
+    assert a.shape == (300, 300)
+    assert is_symmetric(a)
+    # diagonally dominant ⇒ SPD ⇒ positive smallest eigenvalue
+    ev = np.linalg.eigvalsh(a.to_dense())
+    assert ev[0] > 0
+
+
+def test_generators_deterministic():
+    a = G.banded_fem(100, 8, seed=1)
+    b = G.banded_fem(100, 8, seed=1)
+    np.testing.assert_array_equal(a.vals, b.vals)
+    c = G.banded_fem(100, 8, seed=2)
+    assert not np.array_equal(a.to_dense(), c.to_dense())
+
+
+def test_banded_fem_bandwidth():
+    a = G.banded_fem(400, 10, bandwidth_frac=0.02, seed=0)
+    bw = max(2, int(400 * 0.02))
+    assert (np.abs(a.rows - a.cols) <= bw).all()
+
+
+def test_rmat_skew():
+    """Power-law graphs concentrate degree on few rows."""
+    a = G.rmat_graph(1024, 20000, seed=0)
+    rn = np.sort(a.row_nnz())[::-1]
+    top_share = rn[:103].sum() / rn.sum()  # top 10% of rows
+    assert top_share > 0.25  # much more than uniform (0.10)
+
+
+def test_kkt_has_empty_corner():
+    a = G.kkt_saddle(600, seed=1, dominant=False)
+    d = a.to_dense()
+    n1 = int(600 * 0.7)
+    corner = d[n1:, n1:] - np.diag(np.diag(d))[n1:, n1:]
+    # the (2,2) block is (near-)empty off the diagonal
+    assert np.count_nonzero(corner) == 0
+
+
+# ----------------------------------------------------------------------
+def test_suite_has_15_matrices():
+    assert len(SUITE) == 15
+    assert SUITE_ORDER[0] == "inline1"
+    assert SUITE_ORDER[-1] == "mawi_201512020130"
+
+
+def test_suite_metadata_matches_paper():
+    assert SUITE["nlpkkt240"].paper_rows == 27_993_600
+    assert SUITE["sk-2005"].paper_nnz == 1_909_906_755
+    assert SUITE["HV15R"].symmetric is False  # bold in Table 1
+    assert SUITE["twitter7"].binary is True  # italic in Table 1
+
+
+def test_suite_size_ordering_preserved():
+    rows = [SUITE[n].paper_rows for n in SUITE_ORDER]
+    assert rows == sorted(rows)
+
+
+def test_load_matrix_scaled_and_symmetric():
+    a = load_matrix("Bump_2911", scale=16384)
+    assert a.shape[0] == max(1024, 2_911_419 // 16384)
+    assert is_symmetric(a)
+
+
+def test_load_matrix_unknown_name():
+    with pytest.raises(KeyError, match="unknown matrix"):
+        load_matrix("nosuch")
+
+
+def test_load_suite_subset():
+    mats = load_suite(scale=32768, names=["inline1", "nlpkkt160"])
+    assert set(mats) == {"inline1", "nlpkkt160"}
+
+
+def test_nnz_per_row_carried_to_scale():
+    spec = SUITE["Queen4147"]
+    a = spec.build(scale=16384)
+    got = a.nnz / a.shape[0]
+    # within 2× of the paper's nonzeros per row (fill/symmetrize slack)
+    assert 0.5 < got / spec.nnz_per_row < 2.0

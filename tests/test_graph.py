@@ -1,0 +1,126 @@
+"""Task DAG structure: tasks, edges, ordering, validation, analyses."""
+
+import pytest
+
+from repro.graph.analyze import (
+    average_parallelism,
+    critical_path_length,
+    max_width,
+    parallelism_profile,
+)
+from repro.graph.dag import TaskDAG
+from repro.graph.task import DataHandle, Task
+
+
+def mk_task(kernel="COPY", reads=(), writes=(), shape=None, seq=0):
+    shape = shape or {"rows": 10, "width": 1}
+    return Task(-1, kernel, tuple(reads), tuple(writes), shape, {}, 0, seq)
+
+
+def chain_dag(n=5):
+    dag = TaskDAG()
+    prev = None
+    for _ in range(n):
+        tid = dag.add_task(mk_task())
+        if prev is not None:
+            dag.add_edge(prev, tid)
+        prev = tid
+    return dag
+
+
+def diamond_dag():
+    dag = TaskDAG()
+    a = dag.add_task(mk_task())
+    b = dag.add_task(mk_task())
+    c = dag.add_task(mk_task())
+    d = dag.add_task(mk_task())
+    dag.add_edge(a, b)
+    dag.add_edge(a, c)
+    dag.add_edge(b, d)
+    dag.add_edge(c, d)
+    return dag
+
+
+def test_handles_equality_ignores_nbytes():
+    assert DataHandle("x", 1, 100) == DataHandle("x", 1, 999)
+    assert DataHandle("x", 1) != DataHandle("x", 2)
+    assert str(DataHandle("x", 3)) == "x[3]"
+    assert str(DataHandle("g")) == "g"
+
+
+def test_task_touched_dedup():
+    h = DataHandle("y", 0, 8)
+    t = mk_task(reads=(h, DataHandle("x", 0, 8)), writes=(h,))
+    assert len(t.touched()) == 2
+
+
+def test_add_edge_validation():
+    dag = chain_dag(2)
+    with pytest.raises(IndexError):
+        dag.add_edge(0, 99)
+    n = dag.n_edges
+    dag.add_edge(0, 1)  # duplicate ignored
+    dag.add_edge(1, 1)  # self edge ignored
+    assert dag.n_edges == n
+
+
+def test_topo_order_chain():
+    dag = chain_dag(6)
+    assert dag.topo_order() == list(range(6))
+
+
+def test_topo_order_detects_cycle():
+    dag = chain_dag(3)
+    dag.add_edge(2, 0)
+    with pytest.raises(ValueError, match="cycle"):
+        dag.topo_order()
+
+
+def test_check_schedule():
+    dag = diamond_dag()
+    dag.check_schedule([0, 1, 2, 3])
+    dag.check_schedule([0, 2, 1, 3])
+    with pytest.raises(ValueError, match="violated"):
+        dag.check_schedule([1, 0, 2, 3])
+    with pytest.raises(ValueError, match="covers"):
+        dag.check_schedule([0, 1])
+    with pytest.raises(ValueError, match="twice"):
+        dag.check_schedule([0, 0, 1, 2])
+
+
+def test_critical_path_and_levels():
+    dag = diamond_dag()
+    assert dag.critical_path() == 3  # a → b → d
+    assert dag.levels() == [0, 1, 1, 2]
+    assert critical_path_length(dag) == 3
+    assert parallelism_profile(dag) == [1, 2, 1]
+    assert max_width(dag) == 2
+    assert average_parallelism(dag) == pytest.approx(4 / 3)
+
+
+def test_weighted_critical_path():
+    dag = chain_dag(4)
+    assert dag.critical_path(weight=lambda t: 2.0) == 8.0
+
+
+def test_sources_and_degrees():
+    dag = diamond_dag()
+    assert dag.sources() == [0]
+    assert dag.in_degrees() == [0, 1, 1, 2]
+
+
+def test_by_kernel_census():
+    dag = TaskDAG()
+    dag.add_task(mk_task("COPY"))
+    dag.add_task(mk_task("COPY"))
+    dag.add_task(mk_task("ADD", shape={"rows": 5, "width": 1}))
+    assert dag.by_kernel() == {"COPY": 2, "ADD": 1}
+    assert "TaskDAG(3 tasks" in repr(dag)
+
+
+def test_empty_dag():
+    dag = TaskDAG()
+    assert dag.topo_order() == []
+    assert dag.critical_path() == 0.0
+    assert parallelism_profile(dag) == []
+    assert max_width(dag) == 0

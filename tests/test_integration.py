@@ -1,0 +1,119 @@
+"""Cross-module integration: the full pipeline at small scale.
+
+Each test exercises a complete path — suite matrix → CSB tiling →
+solver trace → TDGG → runtime execution — and checks an end-to-end
+paper claim at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import run_cell, run_version
+from repro.graph.analyze import average_parallelism, max_width
+from repro.matrices import CSBMatrix, load_matrix
+from repro.runtime import build_solver_dag
+from repro.solvers import lanczos_trace, lobpcg_trace
+
+
+def test_full_pipeline_shapes_broadwell():
+    """AMT ≥ libcsr on a KKT LOBPCG cell; libcsb carries the CSB L2 win."""
+    c = run_cell("broadwell", "nlpkkt160", "lobpcg", block_count=48,
+                 iterations=2)
+    assert c.speedup("deepsparse") > 1.0
+    assert c.speedup("hpx") > 1.0
+    # Regent trails the other two AMTs
+    assert c.speedup("regent") <= max(c.speedup("deepsparse"),
+                                      c.speedup("hpx"))
+
+
+def test_task_census_matches_paper_structure():
+    """Task counts per iteration land in the paper's reported range
+    ("from 56 to 6,570,446 per iteration" across block sizes)."""
+    A = CSBMatrix.from_coo(load_matrix("nlpkkt160", scale=8192), 64)
+    calls, chunked, small = lobpcg_trace(A, n=8)
+    dag = build_solver_dag(A, calls, chunked, small)
+    assert 56 <= len(dag) <= 6_570_446
+    # LOBPCG exposes parallelism well beyond its critical path
+    assert average_parallelism(dag) > 4
+    assert max_width(dag) >= A.nbr
+
+
+def test_degree_of_parallelism_scales_with_block_count():
+    """§3: maximum SpMM concurrency equals output-vector block count."""
+    coo = load_matrix("inline1", scale=8192)
+    widths = []
+    for bs in (256, 128, 64):
+        A = CSBMatrix.from_coo(coo, bs)
+        calls, chunked, small = lanczos_trace(A, k=10)
+        dag = build_solver_dag(A, calls, chunked, small)
+        widths.append(max_width(dag))
+    assert widths[0] < widths[1] < widths[2]
+
+
+def test_lanczos_lobpcg_critical_path_ordering():
+    """LOBPCG's critical path is much longer than Lanczos's (§4:
+    5 vs 29 at function-call level)."""
+    from repro.graph.analyze import critical_path_length
+
+    A = CSBMatrix.from_coo(load_matrix("inline1", scale=8192), 128)
+    lan, c1, s1 = lanczos_trace(A, k=10)
+    lob, c2, s2 = lobpcg_trace(A, n=4)
+    cp_lan = critical_path_length(build_solver_dag(A, lan, c1, s1))
+    cp_lob = critical_path_length(build_solver_dag(A, lob, c2, s2))
+    assert cp_lob > cp_lan
+
+
+def test_same_dag_all_runtimes_same_misses_structure():
+    """The four policies execute identical task sets: flop totals and
+    task censuses agree; only timing and placement differ."""
+    from repro.analysis.experiment import _trace
+    from repro.machine import broadwell
+    from repro.runtime import (BSPRuntime, DeepSparseRuntime, HPXRuntime,
+                               RegentRuntime)
+    from repro.matrices.suite import SUITE
+    from repro.tuning.blocksize import block_size_for_count
+
+    bs = block_size_for_count(SUITE["Queen4147"].paper_rows, 32)
+    cen, calls, chunked, small = _trace("Queen4147", bs, "lanczos", 20)
+    mach = broadwell()
+    results = [
+        rt.run(cen, calls, chunked, small, iterations=1)
+        for rt in (BSPRuntime(mach, "libcsb"), DeepSparseRuntime(mach),
+                   HPXRuntime(mach), RegentRuntime(mach))
+    ]
+    kernels = [r.counters.kernel_tasks for r in results]
+    assert all(k == kernels[0] for k in kernels)
+    totals = [r.counters.compute_time for r in results]
+    assert max(totals) - min(totals) < 1e-9
+
+
+def test_block_size_tradeoff_exists():
+    """§5.4: some intermediate block count beats both extremes."""
+    times = {}
+    for bc in (8, 64, 480):
+        r = run_version("broadwell", "Queen4147", "lobpcg", "deepsparse",
+                        block_count=bc, iterations=1)
+        times[bc] = r.time_per_iteration
+    assert times[64] < times[8]       # too coarse: idle cores
+    assert times[64] <= times[480] * 1.3  # fine side stays close
+
+
+def test_scaled_matrix_and_census_same_family_behaviour():
+    """The scaled double and full-scale census agree qualitatively:
+    banded matrices leave most blocks empty, web graphs don't."""
+    from repro.matrices.census import census_for
+    from repro.matrices.suite import SUITE
+
+    fem_s = CSBMatrix.from_coo(load_matrix("Flan_1565", scale=16384), None
+                               or 32)
+    web_s = CSBMatrix.from_coo(load_matrix("twitter7", scale=16384), 160)
+    fem_c = census_for(SUITE["Flan_1565"],
+                       -(-SUITE["Flan_1565"].paper_rows // 32))
+    web_c = census_for(SUITE["twitter7"],
+                       -(-SUITE["twitter7"].paper_rows // 32))
+
+    def empty_frac(m):
+        return m.n_empty_blocks() / (m.nbr * m.nbc)
+
+    assert empty_frac(fem_s) > 0.5 and empty_frac(fem_c) > 0.5
+    assert empty_frac(web_s) < 0.5 and empty_frac(web_c) < 0.5

@@ -1,0 +1,164 @@
+"""Computational kernels and the cost registry."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KERNELS,
+    axpy_block,
+    cholesky_qr,
+    copy_block,
+    dot_partial,
+    dot_reduce,
+    kernel_spec,
+    orthonormalize,
+    rayleigh_ritz,
+    small_eigh,
+    small_solve,
+    spmm_block,
+    spmv_block,
+    xty_partial,
+    xty_reduce,
+    xy_block,
+)
+from repro.kernels.ortho import modified_gram_schmidt
+
+
+def test_registry_has_all_dag_kernels():
+    needed = {"SPMV", "SPMM", "XY", "XTY", "XTY_REDUCE", "SPMM_REDUCE",
+              "AXPY", "SCALE", "COPY", "ADD", "SUB", "DOT", "DOT_REDUCE",
+              "RAYLEIGH_RITZ", "SMALL_EIGH", "ORTHO"}
+    assert needed <= set(KERNELS)
+
+
+def test_kernel_spec_unknown():
+    with pytest.raises(KeyError, match="not registered"):
+        kernel_spec("NOPE")
+
+
+def test_spmm_flops_scale_with_width():
+    s = kernel_spec("SPMM")
+    base = {"nnz": 100, "rows": 10, "cols": 10, "width": 1}
+    wide = dict(base, width=8)
+    assert s.flops(wide) == 8 * s.flops(base)
+
+
+def test_xty_flops_rectangular():
+    s = kernel_spec("XTY")
+    assert s.flops({"rows": 50, "w1": 3, "w2": 7}) == 2 * 50 * 3 * 7
+
+
+def test_reduce_flops_use_elems():
+    s = kernel_spec("XTY_REDUCE")
+    assert s.flops({"n_parts": 4, "elems": 9}) == 36
+
+
+# ----------------------------------------------------------------------
+def test_block_kernels_match_dense(small_csb, rng):
+    i, j = small_csb.nonempty_blocks()[1]
+    rs, re = small_csb.row_block_bounds(i)
+    cs, ce = small_csb.col_block_bounds(j)
+    dense = small_csb.to_dense()[rs:re, cs:ce]
+    x = rng.standard_normal(ce - cs)
+    y = np.zeros(re - rs)
+    spmv_block(small_csb.block(i, j), x, y)
+    np.testing.assert_allclose(y, dense @ x, atol=1e-12)
+    X = rng.standard_normal((ce - cs, 4))
+    Y = np.zeros((re - rs, 4))
+    spmm_block(small_csb.block(i, j), X, Y)
+    np.testing.assert_allclose(Y, dense @ X, atol=1e-12)
+
+
+def test_xy_xty_reduce_chain(rng):
+    m, n, p = 60, 4, 3
+    Y = rng.standard_normal((m, n))
+    Z = rng.standard_normal((n, n))
+    Q = np.empty((m, n))
+    # chunked XY
+    for s in range(0, m, 20):
+        xy_block(Y[s:s + 20], Z, Q[s:s + 20])
+    np.testing.assert_allclose(Q, Y @ Z, atol=1e-12)
+    # chunked XTY with reduce (Fig. 2)
+    partials = []
+    for s in range(0, m, 20):
+        buf = np.empty((n, n))
+        xty_partial(Y[s:s + 20], Q[s:s + 20], buf)
+        partials.append(buf)
+    P = np.empty((n, n))
+    xty_reduce(partials, P)
+    np.testing.assert_allclose(P, Y.T @ Q, atol=1e-12)
+    _ = p  # silence unused
+
+
+def test_blas1_chunks(rng):
+    x = rng.standard_normal((30, 2))
+    y = rng.standard_normal((30, 2))
+    y0 = y.copy()
+    axpy_block(2.5, x, y)
+    np.testing.assert_allclose(y, y0 + 2.5 * x)
+    dst = np.empty_like(x)
+    copy_block(x, dst)
+    np.testing.assert_allclose(dst, x)
+    parts = [dot_partial(x[:15], y[:15]), dot_partial(x[15:], y[15:])]
+    np.testing.assert_allclose(dot_reduce(parts),
+                               float(np.dot(x.ravel(), y.ravel())))
+
+
+# ----------------------------------------------------------------------
+def test_small_eigh_symmetric(rng):
+    A = rng.standard_normal((6, 6))
+    w, V = small_eigh(A + A.T)
+    np.testing.assert_allclose((A + A.T) @ V, V @ np.diag(w), atol=1e-10)
+
+
+def test_small_solve(rng):
+    A = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+    B = rng.standard_normal((5, 2))
+    np.testing.assert_allclose(A @ small_solve(A, B), B, atol=1e-10)
+
+
+def test_rayleigh_ritz_recovers_eigenpairs(rng):
+    """RR on an orthonormal basis of an invariant subspace is exact."""
+    n = 8
+    H = rng.standard_normal((n, n))
+    H = H + H.T
+    w_all, V_all = np.linalg.eigh(H)
+    S = V_all[:, :4]  # exact invariant subspace
+    w, C = rayleigh_ritz(S.T @ H @ S, S.T @ S, nev=2)
+    np.testing.assert_allclose(w, w_all[:2], atol=1e-10)
+
+
+def test_rayleigh_ritz_singular_gram(rng):
+    """Degenerate basis directions are floored away, not fatal."""
+    S = rng.standard_normal((10, 4))
+    S[:, 3] = 0.0  # dead direction (like Q=0 in LOBPCG iteration 1)
+    H = rng.standard_normal((10, 10))
+    H = H + H.T
+    w, C = rayleigh_ritz(S.T @ H @ S, S.T @ S, nev=2)
+    assert np.isfinite(w).all()
+    assert C.shape[0] == 4
+
+
+def test_orthonormalize(rng):
+    X = rng.standard_normal((50, 5))
+    Q = orthonormalize(X)
+    np.testing.assert_allclose(Q.T @ Q, np.eye(5), atol=1e-10)
+    # spans the same space
+    proj = Q @ Q.T
+    np.testing.assert_allclose(proj @ X, X, atol=1e-8)
+
+
+def test_orthonormalize_rank_deficient(rng):
+    """Singular Gram matrices may pass Cholesky with garbage factors;
+    the robust path must still return an orthonormal block."""
+    X = rng.standard_normal((20, 3))
+    X[:, 2] = X[:, 0]  # rank 2
+    Q = orthonormalize(X)
+    np.testing.assert_allclose(Q.T @ Q, np.eye(3), atol=1e-8)
+
+
+def test_mgs_replaces_dead_columns(rng):
+    X = rng.standard_normal((20, 3))
+    X[:, 1] = 0.0
+    Q = modified_gram_schmidt(X)
+    np.testing.assert_allclose(Q.T @ Q, np.eye(3), atol=1e-10)

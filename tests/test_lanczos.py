@@ -1,0 +1,92 @@
+"""Lanczos solver: eager correctness and trace structure."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.generators import banded_fem, random_symmetric
+from repro.solvers import lanczos, lanczos_trace
+from repro.solvers.lanczos import tridiagonal_eigenvalues
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return CSBMatrix.from_coo(random_symmetric(250, 8, seed=3), 50)
+
+
+def test_extreme_eigenvalue_converges(spd):
+    res = lanczos(spd, k=40)
+    ref = np.linalg.eigvalsh(spd.to_dense())
+    assert res.extreme("largest") == pytest.approx(ref[-1], rel=1e-8)
+
+
+def test_smallest_eigenvalue_converges(spd):
+    res = lanczos(spd, k=80)
+    ref = np.linalg.eigvalsh(spd.to_dense())
+    assert res.extreme("smallest") == pytest.approx(ref[0], rel=1e-5)
+
+
+def test_basis_orthonormal(spd):
+    res = lanczos(spd, k=25)
+    Q = res.basis[:, :res.iterations]
+    np.testing.assert_allclose(Q.T @ Q, np.eye(res.iterations), atol=1e-8)
+
+
+def test_ritz_values_interlace(spd):
+    """All Ritz values lie within the spectrum's range."""
+    res = lanczos(spd, k=30)
+    ref = np.linalg.eigvalsh(spd.to_dense())
+    assert res.eigenvalues[0] >= ref[0] - 1e-8
+    assert res.eigenvalues[-1] <= ref[-1] + 1e-8
+
+
+def test_deterministic(spd):
+    a = lanczos(spd, k=15, seed=5)
+    b = lanczos(spd, k=15, seed=5)
+    np.testing.assert_array_equal(a.alphas, b.alphas)
+
+
+def test_k_validation(spd):
+    with pytest.raises(ValueError, match="at least 2"):
+        lanczos(spd, k=1)
+
+
+def test_extreme_validation(spd):
+    res = lanczos(spd, k=10)
+    with pytest.raises(ValueError):
+        res.extreme("median")
+
+
+def test_tridiagonal_eigenvalues_known():
+    # T = [[2,1],[1,2]] has eigenvalues 1 and 3
+    np.testing.assert_allclose(
+        tridiagonal_eigenvalues([2.0, 2.0], [1.0]), [1.0, 3.0]
+    )
+
+
+def test_trace_structure(spd):
+    calls, chunked, small = lanczos_trace(spd, k=20)
+    ops = [c.op for c in calls]
+    assert ops == ["SPMM", "DOT", "XTY", "XY", "SUB", "XTY", "XY", "SUB",
+                   "DOT", "SCALE", "COPY", "COPY", "SMALL"]
+    assert chunked["Qb"] == 20
+    assert small["T"] == (20, 2)
+
+
+def test_trace_fixed_across_iterations(spd):
+    """The per-iteration trace shape is iteration-invariant (§3.1)."""
+    c1, _, _ = lanczos_trace(spd, k=20)
+    c2, _, _ = lanczos_trace(spd, k=20)
+    assert [c.op for c in c1] == [c.op for c in c2]
+    assert [c.reads for c in c1] == [c.reads for c in c2]
+
+
+def test_invariant_subspace_early_stop():
+    """On (a multiple of) the identity the Krylov space is 1-D."""
+    from repro.matrices.coo import COOMatrix
+
+    eye = COOMatrix((50, 50), np.arange(50), np.arange(50), np.full(50, 4.0))
+    csb = CSBMatrix.from_coo(eye, 10)
+    res = lanczos(csb, k=10)
+    assert res.iterations == 1
+    assert res.eigenvalues[0] == pytest.approx(4.0)

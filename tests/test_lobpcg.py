@@ -1,0 +1,77 @@
+"""LOBPCG solver: eager correctness against dense references."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.generators import banded_fem, random_symmetric
+from repro.solvers import lobpcg, lobpcg_trace
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return CSBMatrix.from_coo(banded_fem(300, 8, seed=7), 60)
+
+
+def test_smallest_eigenvalues_converge(spd):
+    res = lobpcg(spd, n=4, maxiter=120, tol=1e-8)
+    ref = np.linalg.eigvalsh(spd.to_dense())[:4]
+    np.testing.assert_allclose(res.eigenvalues, ref, rtol=1e-5)
+
+
+def test_eigenvectors_residual(spd):
+    res = lobpcg(spd, n=3, maxiter=120, tol=1e-8)
+    d = spd.to_dense()
+    for k in range(3):
+        v = res.eigenvectors[:, k]
+        lam = res.eigenvalues[k]
+        assert np.linalg.norm(d @ v - lam * v) < 1e-3 * max(1, abs(lam))
+
+
+def test_history_tracks_progress(spd):
+    res = lobpcg(spd, n=2, maxiter=40, tol=1e-9)
+    assert len(res.history) == res.iterations
+    assert res.history.reduction() < 0.1  # residual dropped >10×
+    assert res.history.mostly_monotone()
+
+
+def test_block_width_one(spd):
+    res = lobpcg(spd, n=1, maxiter=150, tol=1e-8)
+    ref = np.linalg.eigvalsh(spd.to_dense())[0]
+    assert res.eigenvalues[0] == pytest.approx(ref, rel=1e-4)
+
+
+def test_invalid_width(spd):
+    with pytest.raises(ValueError, match="positive"):
+        lobpcg(spd, n=0)
+
+
+def test_deterministic(spd):
+    a = lobpcg(spd, n=2, maxiter=10, seed=9)
+    b = lobpcg(spd, n=2, maxiter=10, seed=9)
+    np.testing.assert_array_equal(a.eigenvalues, b.eigenvalues)
+
+
+def test_different_matrix_class():
+    m = CSBMatrix.from_coo(random_symmetric(200, 10, seed=1), 40)
+    res = lobpcg(m, n=3, maxiter=120, tol=1e-8)
+    ref = np.linalg.eigvalsh(m.to_dense())[:3]
+    np.testing.assert_allclose(res.eigenvalues, ref, rtol=1e-4)
+
+
+def test_trace_structure(spd):
+    calls, chunked, small = lobpcg_trace(spd, n=8)
+    ops = [c.op for c in calls]
+    assert ops.count("SPMM") == 3          # HΨ, HR, HQ
+    assert ops.count("XTY") == 13          # M + 12 Gram blocks
+    assert ops.count("XY") == 4
+    assert "SMALL" in ops
+    assert chunked["Psi"] == 8
+    assert small["gA_PQ"] == (8, 8)
+
+
+def test_trace_has_convergence_check(spd):
+    calls, _, _ = lobpcg_trace(spd, n=4)
+    small_ops = [c.meta_dict.get("op") for c in calls if c.op == "SMALL"]
+    assert "CONV_CHECK" in small_ops
+    assert "LOBPCG_RR" in small_ops

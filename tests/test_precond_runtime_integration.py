@@ -1,0 +1,50 @@
+"""Preconditioned LOBPCG runs end-to-end under every runtime model."""
+
+import pytest
+
+from repro.machine import broadwell
+from repro.matrices.census import census_for
+from repro.matrices.suite import SUITE
+from repro.runtime import (
+    BSPRuntime,
+    DeepSparseRuntime,
+    HPXRuntime,
+    RegentRuntime,
+)
+from repro.solvers import lobpcg_trace
+from repro.tuning.blocksize import block_size_for_count
+
+
+@pytest.fixture(scope="module")
+def precond_problem():
+    spec = SUITE["Queen4147"]
+    cen = census_for(spec, block_size_for_count(spec.paper_rows, 48))
+    calls, chunked, small = lobpcg_trace(cen, n=8, precondition=True)
+    return cen, calls, chunked, small
+
+
+def test_preconditioned_dag_under_all_runtimes(precond_problem, bw):
+    cen, calls, chunked, small = precond_problem
+    results = {}
+    for rt in (BSPRuntime(bw, "libcsb"), DeepSparseRuntime(bw),
+               HPXRuntime(bw), RegentRuntime(bw)):
+        r = rt.run(cen, calls, chunked, small, iterations=1)
+        results[rt.name] = r
+        assert r.counters.kernel_tasks.get("DIAGSCALE", 0) == cen.nbr
+    # preconditioner apply is cheap relative to the iteration
+    ds = results["deepsparse"]
+    assert ds.counters.kernel_time["DIAGSCALE"] < 0.1 * ds.counters.busy_time
+
+
+def test_preconditioning_cost_is_marginal(precond_problem, bw):
+    """Adding the Jacobi apply changes iteration time by only a few %."""
+    cen, calls, chunked, small = precond_problem
+    from repro.solvers import lobpcg_trace as lt
+
+    plain_calls, pchunked, psmall = lt(cen, n=8, precondition=False)
+    with_p = DeepSparseRuntime(bw).run(cen, calls, chunked, small,
+                                       iterations=2)
+    without = DeepSparseRuntime(bw).run(cen, plain_calls, pchunked, psmall,
+                                        iterations=2)
+    ratio = with_p.time_per_iteration / without.time_per_iteration
+    assert 0.9 < ratio < 1.25

@@ -1,0 +1,87 @@
+"""Property-based tests on the cache and memory models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import CACHE_LINE, CacheHierarchy, LRUCache, MemoryModel
+from repro.machine.presets import broadwell, epyc
+
+
+@st.composite
+def access_sequences(draw):
+    n_objs = draw(st.integers(1, 8))
+    n_ops = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n_ops):
+        ops.append((
+            draw(st.integers(0, n_objs - 1)),            # object id
+            draw(st.integers(1, 4000)),                  # bytes
+            draw(st.booleans()),                         # write?
+            draw(st.integers(0, 27)),                    # core
+        ))
+    return ops
+
+
+@given(st.integers(64, 4096), access_sequences())
+@settings(max_examples=40, deadline=None)
+def test_lru_usage_never_exceeds_capacity(cap, ops):
+    c = LRUCache(cap)
+    for obj, nbytes, _w, _core in ops:
+        miss = c.access(("o", obj), nbytes)
+        assert 0 <= miss <= nbytes
+        assert c.used <= cap
+
+
+@given(access_sequences())
+@settings(max_examples=30, deadline=None)
+def test_hierarchy_miss_cascade_monotone(ops):
+    """A level can never miss more lines than the level above it."""
+    h = CacheHierarchy(broadwell())
+    for obj, nbytes, write, core in ops:
+        m1, m2, m3 = h.access(core, ("o", obj), nbytes, write=write)
+        assert m1 >= m2 >= m3 >= 0
+        assert m1 <= -(-nbytes // CACHE_LINE)
+
+
+@given(access_sequences())
+@settings(max_examples=25, deadline=None)
+def test_second_access_never_misses_more(ops):
+    """Re-touching the same object immediately can only hit better."""
+    h = CacheHierarchy(broadwell())
+    for obj, nbytes, write, core in ops:
+        first = h.access(core, ("o", obj), nbytes, write=write)
+        second = h.access(core, ("o", obj), nbytes)
+        assert second[0] <= first[0] or first[0] == 0
+
+
+@given(st.integers(1, 512), st.integers(1, 512))
+@settings(max_examples=40, deadline=None)
+def test_memory_placement_total_and_monotone(n_parts, part):
+    """Contiguous first-touch: domains are monotone in the chunk index
+    and all domains are used when there are enough chunks."""
+    m = MemoryModel(epyc(), first_touch=True, n_parts=n_parts)
+    part = min(part, n_parts - 1) if n_parts > 1 else 0
+    d = m.domain_of(("v", part))
+    assert 0 <= d < 8
+    if part + 1 < n_parts:
+        assert m.domain_of(("v", part + 1)) >= d
+    if n_parts >= 8:
+        assert m.domain_of(("v", 0)) == 0
+        assert m.domain_of(("v", n_parts - 1)) == 7
+
+
+@given(st.integers(0, 127), st.integers(0, 63))
+@settings(max_examples=30, deadline=None)
+def test_dram_cost_orderings(core, part):
+    """local ≤ scattered ≤ no-first-touch-remote, for every core/chunk."""
+    mach = epyc()
+    ft = MemoryModel(mach, first_touch=True, n_parts=64)
+    nft = MemoryModel(mach, first_touch=False, n_parts=64)
+    key = ("v", part)
+    local_cost = mach.dram_line_cost
+    cost = ft.dram_line_cost(core, key)
+    assert cost >= local_cost - 1e-18
+    assert ft.dram_line_cost_scattered(core) >= local_cost
+    # no first-touch is never cheaper than first-touch for remote cores
+    if nft.is_remote(core, key):
+        assert nft.dram_line_cost(core, key) >= cost

@@ -1,0 +1,139 @@
+"""Property-based tests: DAG construction and scheduling invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import BuildOptions, DAGBuilder
+from repro.graph.trace import TraceRecorder
+from repro.machine import broadwell
+from repro.matrices.coo import COOMatrix
+from repro.matrices.csb import CSBMatrix
+from repro.sim.cost import CostModel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.memory import MemoryModel
+from repro.sim.engine import SimulationEngine, run_bsp
+from repro.sim.schedulers import (
+    DeepSparseScheduler,
+    HPXScheduler,
+    RegentScheduler,
+)
+
+
+@st.composite
+def random_problem(draw):
+    """A random CSB matrix + a random legal primitive trace."""
+    n = draw(st.integers(20, 120))
+    b = draw(st.integers(5, 60))
+    nnz = draw(st.integers(1, 300))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    coo = COOMatrix(
+        (n, n), rng.integers(0, n, nnz), rng.integers(0, n, nnz),
+        rng.standard_normal(nnz),
+    )
+    csb = CSBMatrix.from_coo(coo, b)
+    t = TraceRecorder()
+    n_calls = draw(st.integers(1, 8))
+    chunked = {"X": 2, "Y": 2, "Q": 2}
+    small = {"Z": (2, 2), "P": (2, 2), "s": (1, 1)}
+    names = list(chunked)
+    for _ in range(n_calls):
+        op = draw(st.sampled_from(["SPMM", "XY", "XTY", "COPY", "ADD",
+                                   "DOT", "SCALE"]))
+        if op == "SPMM":
+            x = draw(st.sampled_from(names))
+            y = draw(st.sampled_from([n for n in names if n != x]))
+            t.record("SPMM", ("A", x), (y,))
+        elif op == "XY":
+            y = draw(st.sampled_from(names))
+            q = draw(st.sampled_from([n for n in names if n != y]))
+            t.record("XY", (y, "Z"), (q,))
+        elif op == "XTY":
+            t.record("XTY", tuple(draw(st.sampled_from(names))
+                                  for _ in range(2)), ("P",))
+        elif op == "COPY":
+            a, bn = draw(st.sampled_from(names)), draw(st.sampled_from(names))
+            if a != bn:
+                t.record("COPY", (a,), (bn,))
+        elif op == "ADD":
+            t.record("ADD", (draw(st.sampled_from(names)),
+                             draw(st.sampled_from(names))),
+                     (draw(st.sampled_from(names)),))
+        elif op == "DOT":
+            t.record("DOT", (draw(st.sampled_from(names)),
+                             draw(st.sampled_from(names))), ("s",))
+        else:
+            t.record("SCALE", (), (draw(st.sampled_from(names)),),
+                     alpha=0.5)
+    opts = BuildOptions(
+        skip_empty=draw(st.booleans()),
+        spmm_mode=draw(st.sampled_from(["dependency", "reduction"])),
+    )
+    builder = DAGBuilder(csb, "A", chunked, small, opts)
+    return builder.build(t.calls)
+
+
+@given(random_problem())
+@settings(max_examples=30, deadline=None)
+def test_builder_always_produces_valid_dag(dag):
+    dag.validate()  # acyclic
+    order = dag.topo_order()
+    dag.check_schedule(order)
+
+
+@given(random_problem())
+@settings(max_examples=20, deadline=None)
+def test_conflicting_tasks_always_ordered(dag):
+    """Any two tasks sharing a written handle are path-connected."""
+    reach = [set() for _ in range(len(dag))]
+    for u in reversed(dag.topo_order()):
+        r = {u}
+        for v in dag.succ[u]:
+            r |= reach[v]
+        reach[u] = r
+    tasks = dag.tasks
+    for a in tasks:
+        aw = {(h.name, h.part) for h in a.writes}
+        ar = {(h.name, h.part) for h in a.reads}
+        for b in tasks:
+            if b.tid <= a.tid:
+                continue
+            bw = {(h.name, h.part) for h in b.writes}
+            br = {(h.name, h.part) for h in b.reads}
+            if (aw & bw) or (aw & br) or (ar & bw):
+                assert (b.tid in reach[a.tid]) or (a.tid in reach[b.tid])
+
+
+@given(random_problem(),
+       st.sampled_from(["deepsparse", "hpx", "regent", "bsp"]),
+       st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_every_policy_executes_every_task_in_dependence_order(
+        dag, policy, seed):
+    bw = broadwell()
+    if policy == "bsp":
+        res = run_bsp(bw, dag, iterations=1)
+    else:
+        sched = {"deepsparse": DeepSparseScheduler,
+                 "hpx": HPXScheduler,
+                 "regent": RegentScheduler}[policy]()
+        res = SimulationEngine(bw, seed=seed).run(dag, sched, iterations=1)
+    assert res.counters.tasks_executed == len(dag)
+    end_of = {r.tid: r.end for r in res.flow.records}
+    start_of = {r.tid: r.start for r in res.flow.records}
+    assert len(end_of) == len(dag)  # each task exactly once
+    for (u, v) in dag._edge_set:
+        assert end_of[u] <= start_of[v] + 1e-12
+
+
+@given(random_problem())
+@settings(max_examples=20, deadline=None)
+def test_charges_are_finite_positive(dag):
+    bw = broadwell()
+    cache = CacheHierarchy(bw)
+    mem = MemoryModel(bw, n_parts=16)
+    cm = CostModel(bw, cache, mem)
+    for t in dag.tasks:
+        ch = cm.charge(t, 0)
+        assert np.isfinite(ch.duration) and ch.duration >= 0
+        assert all(m >= 0 for m in ch.misses)

@@ -1,0 +1,96 @@
+"""Property-based tests: format invariants over random sparse matrices."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices.coo import COOMatrix
+from repro.matrices.csb import CSBMatrix
+from repro.matrices.csr import CSRMatrix
+from repro.matrices.symmetrize import is_symmetric, symmetrize_lower
+
+
+@st.composite
+def coo_matrices(draw, max_n=40, max_nnz=120, square=True):
+    n = draw(st.integers(2, max_n))
+    m = n if square else draw(st.integers(2, max_n))
+    nnz = draw(st.integers(0, max_nnz))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, m, nnz)
+    vals = rng.standard_normal(nnz)
+    return COOMatrix((n, m), rows, cols, vals)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_canonical_preserves_matrix(coo):
+    np.testing.assert_allclose(
+        coo.to_dense(), coo.canonical().to_dense(), atol=1e-12
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_canonical_sorted_unique(coo):
+    c = coo.canonical()
+    keys = c.rows * c.shape[1] + c.cols
+    assert (np.diff(keys) > 0).all() if keys.size > 1 else True
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_csr_roundtrip(coo):
+    csr = CSRMatrix.from_coo(coo)
+    np.testing.assert_allclose(csr.to_dense(), coo.to_dense(), atol=1e-12)
+
+
+@given(coo_matrices(), st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_csb_roundtrip_any_block_size(coo, b):
+    csb = CSBMatrix.from_coo(coo, b)
+    np.testing.assert_allclose(csb.to_dense(), coo.to_dense(), atol=1e-12)
+
+
+@given(coo_matrices(), st.integers(1, 50), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spmv_format_agreement(coo, b, xseed):
+    x = np.random.default_rng(xseed).standard_normal(coo.shape[1])
+    y_coo = coo.spmv(x)
+    y_csr = CSRMatrix.from_coo(coo).spmv(x)
+    y_csb = CSBMatrix.from_coo(coo, b).spmv(x)
+    np.testing.assert_allclose(y_csr, y_coo, atol=1e-9)
+    np.testing.assert_allclose(y_csb, y_coo, atol=1e-9)
+
+
+@given(coo_matrices(), st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_census_partition_of_nnz(coo, b):
+    """Block census partitions nnz exactly; census ≡ nonempty blocks."""
+    csb = CSBMatrix.from_coo(coo, b)
+    grid = csb.block_nnz_grid()
+    assert grid.sum() == coo.canonical().nnz
+    assert (grid > 0).sum() == len(csb.nonempty_blocks())
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_symmetrize_idempotent(coo):
+    s1 = symmetrize_lower(coo)
+    s2 = symmetrize_lower(s1)
+    assert is_symmetric(s1)
+    np.testing.assert_allclose(s1.to_dense(), s2.to_dense(), atol=1e-12)
+
+
+@given(coo_matrices(), st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_blocks_cover_all_entries(coo, b):
+    """Summing every block's entries reconstructs the matrix."""
+    csb = CSBMatrix.from_coo(coo, b)
+    dense = np.zeros(coo.shape)
+    for i, j in csb.nonempty_blocks():
+        blk = csb.block(i, j)
+        rs, _ = csb.row_block_bounds(i)
+        cs, _ = csb.col_block_bounds(j)
+        np.add.at(dense, (rs + blk.rows, cs + blk.cols), blk.vals)
+    np.testing.assert_allclose(dense, coo.to_dense(), atol=1e-12)

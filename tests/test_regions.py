@@ -1,0 +1,177 @@
+"""Regent-style regions/privileges (Listing 3 semantics on threads)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.regions import Partition, Region, RegionRuntime, task
+
+
+def test_region_partition_geometry():
+    r = Region(np.zeros(10), "v")
+    p = r.partition(3)
+    assert len(p) == 3
+    assert [s.interval for s in p] == [(0, 4), (4, 8), (8, 10)]
+    assert all(s.root == r.root for s in p)
+
+
+def test_partition_views_share_memory():
+    r = Region(np.zeros(8), "v")
+    p = r.partition(2)
+    p[0].data[:] = 5.0
+    assert (r.data[:4] == 5.0).all()
+
+
+def test_task_decorator_validates_privileges():
+    with pytest.raises(ValueError, match="invalid privilege"):
+        @task(x="banana")
+        def f(x):  # pragma: no cover
+            pass
+
+
+def test_launch_requires_task():
+    rt = RegionRuntime()
+    with pytest.raises(TypeError, match="not a task"):
+        rt.launch(lambda r: None, Region(np.zeros(2)))
+
+
+def test_dependence_raw():
+    @task(r="write")
+    def produce(r):
+        r.data[:] = 1.0
+
+    @task(r="read")
+    def consume(r):
+        pass
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(4))
+    a = rt.launch(produce, reg)
+    b = rt.launch(consume, reg)
+    assert (a, b) in rt.dependence_edges
+
+
+def test_read_read_commutes():
+    @task(r="read")
+    def reader(r):
+        pass
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(4))
+    rt.launch(reader, reg)
+    rt.launch(reader, reg)
+    assert rt.dependence_edges == []
+
+
+def test_reduce_reduce_commutes_but_conflicts_with_read():
+    @task(r="reduce")
+    def reducer(r):
+        r.data += 1.0
+
+    @task(r="read")
+    def reader(r):
+        pass
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(4))
+    a = rt.launch(reducer, reg)
+    b = rt.launch(reducer, reg)
+    c = rt.launch(reader, reg)
+    assert (a, b) not in rt.dependence_edges
+    assert (a, c) in rt.dependence_edges and (b, c) in rt.dependence_edges
+
+
+def test_disjoint_subregions_parallel():
+    @task(r="write")
+    def w(r):
+        r.data[:] = 1.0
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(10))
+    p = reg.partition(2)
+    rt.launch(w, p[0])
+    rt.launch(w, p[1])
+    assert rt.dependence_edges == []  # disjoint rows don't interfere
+
+
+def test_index_launch_rejects_interference():
+    @task(r="write")
+    def w(r):
+        pass
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(10))
+    with pytest.raises(ValueError, match="interfere"):
+        rt.index_launch(2, w, lambda i: (reg,))  # same whole region twice
+
+
+def test_index_launch_accepts_disjoint():
+    @task(r="write")
+    def w(r):
+        r.data[:] = 2.0
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(12))
+    p = reg.partition(4)
+    lids = rt.index_launch(4, w, lambda i: (p[i],))
+    assert len(lids) == 4
+    rt.execute()
+    assert (reg.data == 2.0).all()
+
+
+@pytest.mark.parametrize("n_threads", [None, 4])
+def test_listing3_spmm_pipeline(n_threads):
+    """Listing 3 end-to-end: SpMM + dgemm + dgemmT via privileges."""
+    from repro.matrices.csb import CSBMatrix
+    from repro.matrices.generators import banded_fem
+
+    csb = CSBMatrix.from_coo(banded_fem(120, 6, seed=5), 30)
+    np_ = csb.nbr
+    rng = np.random.default_rng(1)
+    n = 3
+    X = Region(rng.standard_normal((120, n)), "X")
+    Y = Region(np.zeros((120, n)), "Y")
+    Q = Region(np.zeros((120, n)), "Q")
+    Z = rng.standard_normal((n, n))
+    P_parts = [np.zeros((n, n)) for _ in range(np_)]
+    Xp, Yp, Qp = X.partition(np_), Y.partition(np_), Q.partition(np_)
+
+    @task(rX="read", rY="read_write")
+    def spmm(rX, rY, i, j):
+        csb.block_spmm(i, j, rX.data, rY.data)
+
+    @task(rY="read", rQ="write")
+    def f_dgemm(rY, rQ):
+        np.matmul(rY.data, Z, out=rQ.data)
+
+    @task(rY="read", rQ="read")
+    def f_dgemm_t(rY, rQ, i):
+        P_parts[i][:] = rY.data.T @ rQ.data
+
+    rt = RegionRuntime()
+    for i in range(np_):
+        for j in range(np_):
+            if csb.block_nnz(i, j) > 0:
+                rt.launch(spmm, Xp[j], Yp[i], i, j)
+    rt.index_launch(np_, f_dgemm, lambda i: (Yp[i], Qp[i]))
+    rt.index_launch(np_, f_dgemm_t, lambda i: (Yp[i], Qp[i], i))
+    rt.execute(n_threads=n_threads)
+
+    Yref = csb.spmm(X.data)
+    np.testing.assert_allclose(Y.data, Yref, atol=1e-12)
+    np.testing.assert_allclose(Q.data, Yref @ Z, atol=1e-12)
+    np.testing.assert_allclose(sum(P_parts), Yref.T @ (Yref @ Z), atol=1e-10)
+
+
+def test_parallel_execution_respects_order():
+    """A chain of read-write increments must serialize on threads."""
+    @task(r="read_write")
+    def inc(r):
+        v = r.data[0]
+        r.data[0] = v + 1
+
+    rt = RegionRuntime()
+    reg = Region(np.zeros(1))
+    for _ in range(50):
+        rt.launch(inc, reg)
+    rt.execute(n_threads=8)
+    assert reg.data[0] == 50

@@ -1,0 +1,119 @@
+"""Symmetrization rules (Table 1 preprocessing) and Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices.coo import COOMatrix
+from repro.matrices.io import (
+    load_npz,
+    read_matrix_market,
+    save_npz,
+    write_matrix_market,
+)
+from repro.matrices.symmetrize import (
+    fill_binary_random,
+    is_symmetric,
+    symmetrize_lower,
+)
+
+
+def test_symmetrize_lower_formula(rng):
+    """A_new = L + Lᵀ − D exactly."""
+    d = rng.standard_normal((12, 12))
+    a = COOMatrix.from_dense(d)
+    s = symmetrize_lower(a).to_dense()
+    L = np.tril(d)
+    expected = L + L.T - np.diag(np.diag(d))
+    np.testing.assert_allclose(s, expected, atol=1e-14)
+
+
+def test_symmetrize_produces_symmetric(rng):
+    d = rng.standard_normal((20, 20))
+    s = symmetrize_lower(COOMatrix.from_dense(d))
+    assert is_symmetric(s)
+
+
+def test_symmetrize_requires_square():
+    with pytest.raises(ValueError, match="square"):
+        symmetrize_lower(COOMatrix.empty((3, 4)))
+
+
+def test_is_symmetric_detects_asymmetry():
+    a = COOMatrix((3, 3), [0, 1], [1, 2], [1.0, 2.0])
+    assert not is_symmetric(a)
+    assert not is_symmetric(COOMatrix.empty((2, 3)))
+
+
+def test_is_symmetric_value_mismatch():
+    a = COOMatrix((2, 2), [0, 1], [1, 0], [1.0, 2.0])
+    assert not is_symmetric(a)
+    assert is_symmetric(a, tol=1.5)
+
+
+def test_fill_binary_random_preserves_symmetry():
+    n = 30
+    rows = [0, 1, 1, 5, 5, 9]
+    cols = [1, 0, 5, 1, 9, 5]
+    a = COOMatrix((n, n), rows, cols, np.ones(6))
+    f = fill_binary_random(a, seed=3)
+    assert is_symmetric(f)
+    d = f.to_dense()
+    assert d[0, 1] == d[1, 0] != 0
+    assert (d[d != 0] > 0.1).all()  # bounded away from zero
+
+
+def test_fill_binary_random_deterministic():
+    a = COOMatrix((5, 5), [0, 1], [1, 0], [1.0, 1.0])
+    f1 = fill_binary_random(a, seed=7)
+    f2 = fill_binary_random(a, seed=7)
+    np.testing.assert_array_equal(f1.vals, f2.vals)
+    f3 = fill_binary_random(a, seed=8)
+    assert not np.array_equal(f1.vals, f3.vals)
+
+
+# ----------------------------------------------------------------------
+def test_matrix_market_roundtrip(small_sym_coo):
+    buf = io.StringIO()
+    write_matrix_market(buf, small_sym_coo)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    np.testing.assert_allclose(back.to_dense(), small_sym_coo.to_dense())
+
+
+def test_matrix_market_symmetric_roundtrip(small_sym_coo):
+    buf = io.StringIO()
+    write_matrix_market(buf, small_sym_coo, symmetric=True)
+    buf.seek(0)
+    text = buf.getvalue()
+    assert "symmetric" in text.splitlines()[0]
+    back = read_matrix_market(io.StringIO(text))
+    np.testing.assert_allclose(back.to_dense(), small_sym_coo.to_dense())
+
+
+def test_matrix_market_pattern():
+    mm = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 3\n"
+    a = read_matrix_market(io.StringIO(mm))
+    assert a.nnz == 2
+    assert a.to_dense()[0, 1] == 1.0 and a.to_dense()[2, 2] == 1.0
+
+
+def test_matrix_market_bad_banner():
+    with pytest.raises(ValueError, match="banner"):
+        read_matrix_market(io.StringIO("garbage\n1 1 0\n"))
+
+
+def test_matrix_market_wrong_count():
+    mm = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+    with pytest.raises(ValueError, match="expected 3"):
+        read_matrix_market(io.StringIO(mm))
+
+
+def test_npz_roundtrip(tmp_path, small_sym_coo):
+    p = tmp_path / "m.npz"
+    save_npz(p, small_sym_coo)
+    back = load_npz(p)
+    assert back.shape == small_sym_coo.shape
+    np.testing.assert_array_equal(back.rows, small_sym_coo.rows)
+    np.testing.assert_array_equal(back.vals, small_sym_coo.vals)

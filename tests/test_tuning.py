@@ -1,0 +1,112 @@
+"""Block-size buckets, rule of thumb, and performance profiles (§5.4)."""
+
+import pytest
+
+from repro.tuning import (
+    BLOCK_COUNT_BUCKETS,
+    PerformanceProfile,
+    block_size_for_count,
+    bucket_of_count,
+    candidate_block_sizes,
+    performance_profiles,
+    recommend_block_count,
+    sweep_block_sizes,
+)
+
+
+def test_buckets_cover_8_to_511_disjointly():
+    covered = []
+    for lo, hi in BLOCK_COUNT_BUCKETS:
+        covered.extend(range(lo, hi + 1))
+    assert covered == list(range(8, 512))
+
+
+@pytest.mark.parametrize("count,expected", [
+    (8, (8, 15)), (15, (8, 15)), (64, (64, 127)), (511, (256, 511)),
+])
+def test_bucket_of_count(count, expected):
+    assert bucket_of_count(count) == expected
+
+
+@pytest.mark.parametrize("bad", [7, 512, 0])
+def test_bucket_out_of_range(bad):
+    with pytest.raises(ValueError, match="8-511"):
+        bucket_of_count(bad)
+
+
+def test_block_size_for_count_roundtrip():
+    n = 1_000_000
+    for count in (8, 32, 128, 511):
+        bs = block_size_for_count(n, count)
+        achieved = -(-n // bs)
+        assert abs(achieved - count) <= 1
+
+
+def test_block_size_invalid():
+    with pytest.raises(ValueError):
+        block_size_for_count(100, 0)
+
+
+def test_candidate_block_sizes_one_per_bucket():
+    cands = candidate_block_sizes(10_000_000)
+    assert set(cands) == set(BLOCK_COUNT_BUCKETS)
+    # larger counts ⇒ smaller blocks
+    sizes = [cands[b] for b in BLOCK_COUNT_BUCKETS]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_candidates_drop_degenerate_for_tiny_matrices():
+    cands = candidate_block_sizes(100)
+    assert (256, 511) not in cands
+
+
+def test_rule_of_thumb_matches_paper():
+    assert recommend_block_count("deepsparse", "broadwell") == (32, 63)
+    assert recommend_block_count("deepsparse", "epyc") == (64, 127)
+    assert recommend_block_count("hpx", "broadwell") == (64, 127)
+    assert recommend_block_count("regent", "epyc") == (16, 31)
+    with pytest.raises(KeyError):
+        recommend_block_count("tbb", "broadwell")
+
+
+def test_sweep_calls_runner_per_bucket():
+    seen = []
+
+    def run_at(bs):
+        seen.append(bs)
+        return float(bs)
+
+    out = sweep_block_sizes(10_000_000, run_at)
+    assert len(out) == len(BLOCK_COUNT_BUCKETS)
+    assert len(seen) == len(out)
+
+
+# ----------------------------------------------------------------------
+def test_profile_value_and_area():
+    p = PerformanceProfile((32, 63), ratios=[1.0, 1.1, 2.0])
+    assert p.value_at(1.0) == pytest.approx(1 / 3)
+    assert p.value_at(1.15) == pytest.approx(2 / 3)
+    assert p.value_at(2.0) == 1.0
+    assert 0 < p.area() <= 1.0
+
+
+def test_performance_profiles_ranking():
+    # bucket A always best; bucket B always 1.5× slower
+    times = {
+        "m1": {(32, 63): 1.0, (64, 127): 1.5},
+        "m2": {(32, 63): 2.0, (64, 127): 3.0},
+    }
+    profs = performance_profiles(times)
+    assert profs[(32, 63)].value_at(1.0) == 1.0
+    assert profs[(64, 127)].value_at(1.0) == 0.0
+    assert profs[(32, 63)].area() > profs[(64, 127)].area()
+
+
+def test_profiles_reject_nonpositive():
+    with pytest.raises(ValueError):
+        performance_profiles({"m": {(8, 15): 0.0}})
+
+
+def test_empty_profile():
+    p = PerformanceProfile((8, 15))
+    assert p.value_at(2.0) == 0.0
