@@ -12,6 +12,10 @@ Environment:
 * ``REPRO_FULL=1`` — run all 15 matrices instead of the representative
   default subset (slow).
 * ``REPRO_ITERS`` — solver iterations per simulated run (default 2).
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — on-disk result cache
+  location / kill switch (see :mod:`repro.bench.cache`).  Figure runs
+  share one store with ``python -m repro bench``; a warm cache turns a
+  full figure regeneration into a few milliseconds of JSON reads.
 """
 
 from __future__ import annotations
@@ -22,13 +26,16 @@ from functools import lru_cache
 
 from repro.analysis.experiment import run_cell, run_version  # noqa: F401
 from repro.analysis.metrics import SolverComparison
+from repro.bench.cache import default_cache
+from repro.bench.runner import Cell
 from repro.matrices.suite import SUITE_ORDER
 
 #: Representative subset: every sparsity family, small through large.
-DEFAULT_MATRICES = [
-    "inline1", "Flan_1565", "Queen4147", "Nm7",
-    "nlpkkt160", "nlpkkt240", "twitter7", "webbase-2001",
-]
+#: (Canonical tuple lives with the orchestrator; list kept for
+#: backwards compatibility with callers that mutate/extend it.)
+from repro.bench.runner import DEFAULT_MATRICES as _DEFAULT_MATRICES  # noqa: E402
+
+DEFAULT_MATRICES = list(_DEFAULT_MATRICES)
 
 #: Fast subset for the expensive sweeps (Figs. 7 and 14).
 SWEEP_MATRICES = ["inline1", "Queen4147", "Nm7", "nlpkkt160"]
@@ -37,12 +44,12 @@ ITERATIONS = int(os.environ.get("REPRO_ITERS", "2"))
 
 #: Rule-of-thumb block counts used for the headline comparisons
 #: (§5.4: DeepSparse/HPX 32–63 on Broadwell, 64–127 on EPYC;
-#: Regent 16–31; libcsb follows the AMT tiling).
-BLOCK_COUNT = {"broadwell": 48, "epyc": 96}
-#: Regent favours coarse grains (paper: 16-31); on the simulated EPYC
-#: its 110 workers starve below ~96 blocks, so its best practical
-#: granularity there is higher (deviation recorded in EXPERIMENTS.md).
-REGENT_BLOCK_COUNT = {"broadwell": 24, "epyc": 96}
+#: Regent 16–31; libcsb follows the AMT tiling).  Canonical values
+#: live with the orchestrator so figures and ``repro bench`` agree.
+from repro.bench.runner import (  # noqa: E402  (kept with its comment)
+    DEFAULT_BLOCK_COUNT as BLOCK_COUNT,
+    REGENT_BLOCK_COUNT,
+)
 
 
 def matrices():
@@ -57,15 +64,39 @@ def emit(text: str = "") -> None:
     sys.__stdout__.flush()
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=None)
 def cached_version(machine, matrix, solver, version, block_count,
                    iterations=ITERATIONS, first_touch=True):
-    """Memoized run: figures sharing cells don't re-simulate them."""
-    return run_version(
+    """Memoized run: figures sharing cells don't re-simulate them.
+
+    Two tiers.  The in-process LRU (unbounded: the whole experiment
+    grid is a few thousand cells even under ``REPRO_FULL``, and each
+    entry is a small summary or one RunResult) makes repeat queries
+    within one pytest session free.  Behind it sits the on-disk
+    :class:`~repro.bench.cache.ResultCache` shared with ``python -m
+    repro bench``: a disk hit returns a
+    :class:`~repro.sim.engine.RunResultSummary` — a drop-in for
+    ``RunResult`` minus the per-task flow records (Gantt rendering
+    degrades to a notice; every figure assertion reads aggregates that
+    survive the round trip).  A cold cell simulates here, persists its
+    summary, and returns the full ``RunResult``.
+    """
+    cache = default_cache()
+    config = Cell(
+        machine=machine, matrix=matrix, solver=solver, version=version,
+        block_count=block_count, iterations=iterations,
+        first_touch=first_touch,
+    ).config()
+    hit = cache.get(config)
+    if hit is not None:
+        return hit
+    res = run_version(
         machine, matrix, solver, version,
         block_count=block_count, iterations=iterations,
         first_touch=first_touch,
     )
+    cache.put(config, res.summary())
+    return res
 
 
 def cell(machine, matrix, solver, versions=None, iterations=ITERATIONS):

@@ -7,13 +7,12 @@ the bottom — "going beyond 64 block count can cause 5×-10× slowdowns"
 for Regent.
 """
 
-from repro.analysis.experiment import run_version
 from repro.tuning import (
     BLOCK_COUNT_BUCKETS,
     performance_profiles,
 )
 
-from benchmarks.common import SWEEP_MATRICES, banner, emit
+from benchmarks.common import SWEEP_MATRICES, banner, cached_version, emit
 
 RUNTIMES = ["deepsparse", "hpx", "regent"]
 TAUS = [1.0, 1.1, 1.25, 1.5, 2.0]
@@ -28,8 +27,8 @@ def run_fig14():
                 per_bucket = {}
                 for lo, hi in BLOCK_COUNT_BUCKETS:
                     mid = (lo + hi) // 2
-                    res = run_version(mach, mat, "lobpcg", rt,
-                                      block_count=mid, iterations=1)
+                    res = cached_version(mach, mat, "lobpcg", rt,
+                                         block_count=mid, iterations=1)
                     per_bucket[(lo, hi)] = res.time_per_iteration
                 per_matrix[mat] = per_bucket
             times[(mach, rt)] = per_matrix

@@ -1,0 +1,42 @@
+"""Experiment orchestration: grid expansion, on-disk caching, parallel runs.
+
+Every figure of the paper is a grid of simulated cells
+(machine × matrix × solver × version × block count).  This package is
+the substrate all of them run through:
+
+* :mod:`repro.bench.cache` — a content-addressed, process-safe result
+  store keyed by the full cell config plus a cost-model version salt.
+* :mod:`repro.bench.runner` — :class:`ExperimentRunner`: expands grid
+  specs, dedupes cells, serves hits from the cache, and fans misses
+  out over a process pool with deterministic result ordering.
+
+Environment knobs (read at cache construction):
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``.repro_cache/``).
+* ``REPRO_NO_CACHE=1`` — disable the on-disk cache entirely.
+* ``REPRO_BENCH_JOBS`` — default worker-process count.
+"""
+
+from repro.bench.cache import ResultCache, cache_key, default_cache
+from repro.bench.runner import (
+    Cell,
+    DEFAULT_BLOCK_COUNT,
+    DEFAULT_MATRICES,
+    ExperimentRunner,
+    REGENT_BLOCK_COUNT,
+    expand_grid,
+    run_cell_config,
+)
+
+__all__ = [
+    "Cell",
+    "DEFAULT_BLOCK_COUNT",
+    "DEFAULT_MATRICES",
+    "ExperimentRunner",
+    "REGENT_BLOCK_COUNT",
+    "ResultCache",
+    "cache_key",
+    "default_cache",
+    "expand_grid",
+    "run_cell_config",
+]

@@ -1,0 +1,213 @@
+"""Content-addressed on-disk store for simulated run summaries.
+
+Layout: one JSON file per cell under ``<root>/<key[:2]>/<key>.json``,
+where ``key`` is the SHA-256 of the canonical JSON encoding of the
+cell config plus a code fingerprint (:data:`CACHE_SALT`).  The salt
+embeds :data:`repro.sim.cost.COST_MODEL_VERSION`, so any change to
+cost-model *semantics* invalidates every cached number; bit-identical
+performance refactors keep the cache warm.
+
+Properties the experiment pipeline relies on:
+
+* **Process-safe writes** — entries are written to a temp file in the
+  same directory and ``os.replace``'d into place, so concurrent
+  workers never expose a torn file.
+* **Corruption tolerance** — an unreadable or truncated entry is
+  treated as a miss (and removed), never an exception.
+* **Bit-exact round trip** — floats survive via ``repr`` in JSON, so a
+  warm-cache re-run returns byte-identical summaries.
+
+Environment:
+
+* ``REPRO_CACHE_DIR`` — overrides the default ``.repro_cache/`` root.
+* ``REPRO_NO_CACHE=1`` — disables the store (all gets miss, puts drop).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.sim.cost import COST_MODEL_VERSION
+from repro.sim.engine import RunResultSummary
+
+__all__ = [
+    "CACHE_SALT",
+    "ENTRY_FORMAT",
+    "ResultCache",
+    "cache_key",
+    "default_cache",
+]
+
+#: Storage-schema version of one cache entry (bump on layout changes).
+ENTRY_FORMAT = 1
+
+#: Code fingerprint mixed into every key: cost-model semantics + entry
+#: schema.  Bumping either orphans old entries (they simply stop being
+#: addressed; ``clear()`` reclaims the space).
+CACHE_SALT = f"cost-v{COST_MODEL_VERSION}/entry-v{ENTRY_FORMAT}"
+
+DEFAULT_ROOT = ".repro_cache"
+
+
+def _canonical(config: dict) -> str:
+    """Stable, process-independent encoding of a cell config."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def cache_key(config: dict, salt: str = CACHE_SALT) -> str:
+    """Content address of one cell config (stable across processes)."""
+    payload = salt + "\n" + _canonical(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent result store; safe for concurrent reader/writers.
+
+    Parameters
+    ----------
+    root:
+        Directory to store entries in.  Defaults to
+        ``$REPRO_CACHE_DIR`` or ``.repro_cache/``.
+    enabled:
+        Force-enable/disable; defaults to the inverse of
+        ``$REPRO_NO_CACHE``.
+    salt:
+        Code fingerprint mixed into keys (tests override this to model
+        cost-semantics changes).
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 enabled: Optional[bool] = None,
+                 salt: str = CACHE_SALT):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_ROOT
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "") not in (
+                "1", "true", "yes", "on",
+            )
+        self.root = os.path.abspath(root)
+        self.enabled = bool(enabled)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def key(self, config: dict) -> str:
+        return cache_key(config, self.salt)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # ------------------------------------------------------------------
+    def get(self, config: dict) -> Optional[RunResultSummary]:
+        """Cached summary for ``config``, or ``None`` on a miss.
+
+        Corrupted entries (truncated writes, bad JSON, wrong schema)
+        are treated as misses and unlinked — a broken cache must never
+        break an experiment.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(self.key(config))
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                entry = json.load(f)
+            if entry.get("format") != ENTRY_FORMAT:
+                raise ValueError(f"entry format {entry.get('format')!r}")
+            summary = RunResultSummary.from_dict(entry["summary"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupted entry: drop it and report a miss.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, config: dict, summary: RunResultSummary) -> None:
+        """Store a summary atomically (last concurrent writer wins)."""
+        if not self.enabled:
+            return
+        key = self.key(config)
+        path = self.path_for(key)
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "salt": self.salt,
+            "config": config,
+            "summary": summary.to_dict(),
+        }
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(entry, f)
+            os.replace(tmp, path)  # atomic on POSIX
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __contains__(self, config: dict) -> bool:
+        return self.enabled and os.path.exists(
+            self.path_for(self.key(config))
+        )
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir) or len(sub) != 2:
+                continue
+            for name in os.listdir(subdir):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(subdir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "root": self.root,
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return (f"ResultCache({self.root!r}, {state}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+_DEFAULT: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """Process-wide cache honouring the environment at first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ResultCache()
+    return _DEFAULT

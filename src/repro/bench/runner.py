@@ -1,0 +1,279 @@
+"""The parallel experiment orchestrator.
+
+:class:`ExperimentRunner` is the one path every sweep goes through:
+
+1. expand a grid spec into cells (:func:`expand_grid`),
+2. dedupe identical cells,
+3. serve what the on-disk cache already has,
+4. fan the misses out over a ``ProcessPoolExecutor`` (the simulator is
+   pure Python and CPU-bound, so *processes*, not threads, are the
+   right parallelism — the GIL serializes threads),
+5. persist fresh summaries and return results in input order.
+
+Result ordering is deterministic and independent of ``jobs``: cells
+are keyed, executed by key order of first appearance, and re-assembled
+into the caller's order, so ``--jobs 8`` returns exactly what
+``--jobs 1`` returns.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.cache import ResultCache, default_cache
+from repro.sim.engine import RunResultSummary
+
+__all__ = [
+    "Cell",
+    "DEFAULT_BLOCK_COUNT",
+    "DEFAULT_MATRICES",
+    "ExperimentRunner",
+    "REGENT_BLOCK_COUNT",
+    "expand_grid",
+    "run_cell_config",
+]
+
+#: Rule-of-thumb block counts for the headline comparisons (§5.4:
+#: DeepSparse/HPX 32–63 on Broadwell, 64–127 on EPYC).
+DEFAULT_BLOCK_COUNT = {"broadwell": 48, "epyc": 96}
+#: Regent favours coarse grains (paper: 16–31); on the simulated EPYC
+#: its workers starve below ~96 blocks (deviation in EXPERIMENTS.md).
+REGENT_BLOCK_COUNT = {"broadwell": 24, "epyc": 96}
+
+#: Representative suite subset — every sparsity family, small through
+#: large.  The figure benchmarks and ``repro bench`` default to it.
+DEFAULT_MATRICES = (
+    "inline1", "Flan_1565", "Queen4147", "Nm7",
+    "nlpkkt160", "nlpkkt240", "twitter7", "webbase-2001",
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the experiment grid."""
+
+    machine: str
+    matrix: str
+    solver: str
+    version: str
+    block_count: int = 64
+    iterations: int = 2
+    width: Optional[int] = None
+    first_touch: bool = True
+    seed: int = 0
+
+    def config(self) -> dict:
+        """Canonical key material for the result cache.
+
+        ``libcsr`` ignores the block count (its grain is one row chunk
+        per core), so it is normalized out of the key — every
+        ``libcsr`` cell of a block-count sweep hits the same entry.
+        """
+        return {
+            "machine": self.machine,
+            "matrix": self.matrix,
+            "solver": self.solver,
+            "version": self.version,
+            "block_count": (None if self.version == "libcsr"
+                            else int(self.block_count)),
+            "iterations": int(self.iterations),
+            "width": self.width,
+            "first_touch": bool(self.first_touch),
+            "seed": int(self.seed),
+        }
+
+    def label(self) -> str:
+        return (f"{self.machine}/{self.matrix}/{self.solver}/"
+                f"{self.version}@{self.block_count}x{self.iterations}")
+
+
+def run_cell_config(config: dict) -> RunResultSummary:
+    """Simulate one cell (cache-oblivious; the runner handles caching)."""
+    from repro.analysis.experiment import run_version
+
+    return run_version(
+        config["machine"],
+        config["matrix"],
+        config["solver"],
+        config["version"],
+        block_count=int(config.get("block_count") or 64),
+        iterations=int(config.get("iterations", 2)),
+        width=config.get("width"),
+        first_touch=bool(config.get("first_touch", True)),
+        seed=int(config.get("seed", 0)),
+    ).summary()
+
+
+def _pool_worker(config: dict) -> tuple:
+    """Child-process entry: plain dicts in, plain dicts out (picklable)."""
+    t0 = time.perf_counter()
+    summary = run_cell_config(config)
+    return summary.to_dict(), time.perf_counter() - t0
+
+
+class ExperimentRunner:
+    """Expand → dedupe → cache-check → (parallel) simulate → report.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`ResultCache`; defaults to the process-wide one.
+        Pass ``ResultCache(enabled=False)`` to force cold runs.
+    jobs:
+        Worker processes for cache misses.  ``1`` (default, or
+        ``$REPRO_BENCH_JOBS``) runs inline — no pool, no pickling.
+    progress:
+        Optional callable invoked with one line per completed cell.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 jobs: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.cache = cache if cache is not None else default_cache()
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        self.jobs = max(1, int(jobs))
+        self.progress = progress
+        self.report: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def _note(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[RunResultSummary]:
+        """Run every cell; returns summaries in input order.
+
+        Identical cells (after key normalization) are simulated once.
+        """
+        t_start = time.perf_counter()
+        self.report = []
+        order: List[str] = []            # unique keys, first-appearance order
+        configs: Dict[str, dict] = {}
+        labels: Dict[str, str] = {}
+        keys: List[str] = []             # per input cell
+        for cell in cells:
+            config = cell.config()
+            key = self.cache.key(config)
+            keys.append(key)
+            if key not in configs:
+                configs[key] = config
+                labels[key] = cell.label()
+                order.append(key)
+
+        results: Dict[str, RunResultSummary] = {}
+        miss_keys: List[str] = []
+        for key in order:
+            t0 = time.perf_counter()
+            hit = self.cache.get(configs[key])
+            if hit is not None:
+                results[key] = hit
+                dt = time.perf_counter() - t0
+                self.report.append({
+                    "cell": labels[key], "key": key,
+                    "cached": True, "seconds": dt,
+                })
+                self._note(f"[cache] {labels[key]} ({dt * 1e3:.1f} ms)")
+            else:
+                miss_keys.append(key)
+
+        if miss_keys:
+            self._run_misses(miss_keys, configs, labels, results)
+
+        self.total_seconds = time.perf_counter() - t_start
+        return [results[k] for k in keys]
+
+    def _run_misses(self, miss_keys, configs, labels, results) -> None:
+        if self.jobs > 1 and len(miss_keys) > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                mapped = pool.map(
+                    _pool_worker, [configs[k] for k in miss_keys]
+                )
+                for key, (summary_dict, dt) in zip(miss_keys, mapped):
+                    summary = RunResultSummary.from_dict(summary_dict)
+                    self._finish_miss(key, configs, labels, results,
+                                      summary, dt)
+        else:
+            for key in miss_keys:
+                t0 = time.perf_counter()
+                summary = run_cell_config(configs[key])
+                self._finish_miss(key, configs, labels, results,
+                                  summary, time.perf_counter() - t0)
+
+    def _finish_miss(self, key, configs, labels, results, summary,
+                     dt) -> None:
+        self.cache.put(configs[key], summary)
+        results[key] = summary
+        self.report.append({
+            "cell": labels[key], "key": key,
+            "cached": False, "seconds": dt,
+        })
+        self._note(f"[run]   {labels[key]} ({dt:.2f} s)")
+
+    # ------------------------------------------------------------------
+    def run_grid(self, **grid) -> List[RunResultSummary]:
+        """Shorthand: :func:`expand_grid` then :meth:`run_cells`."""
+        return self.run_cells(expand_grid(**grid))
+
+    def format_report(self) -> str:
+        """Human-readable summary of the last :meth:`run_cells`."""
+        hits = sum(1 for r in self.report if r["cached"])
+        misses = len(self.report) - hits
+        sim_s = sum(r["seconds"] for r in self.report if not r["cached"])
+        lines = [
+            f"{len(self.report)} unique cells: {hits} cached, "
+            f"{misses} simulated ({sim_s:.2f} s simulation, "
+            f"{getattr(self, 'total_seconds', 0.0):.2f} s wall, "
+            f"jobs={self.jobs})",
+        ]
+        slowest = sorted(
+            (r for r in self.report if not r["cached"]),
+            key=lambda r: -r["seconds"],
+        )[:5]
+        for r in slowest:
+            lines.append(f"  slowest: {r['cell']} {r['seconds']:.2f} s")
+        return "\n".join(lines)
+
+
+def expand_grid(
+    machines: Sequence[str] = ("broadwell",),
+    matrices: Sequence[str] = (),
+    solvers: Sequence[str] = ("lanczos",),
+    versions: Sequence[str] = ("libcsr", "libcsb", "deepsparse", "hpx",
+                               "regent"),
+    block_counts: Optional[Sequence[int]] = None,
+    iterations: int = 2,
+    width: Optional[int] = None,
+    first_touch: bool = True,
+    seed: int = 0,
+) -> List[Cell]:
+    """Cartesian grid spec → cell list (deterministic order).
+
+    With ``block_counts=None`` each version gets its §5.4 rule-of-thumb
+    granularity for the machine (Regent coarser than DeepSparse/HPX).
+    """
+    cells = []
+    for machine in machines:
+        for matrix in matrices:
+            for solver in solvers:
+                for version in versions:
+                    if block_counts is None:
+                        table = (REGENT_BLOCK_COUNT
+                                 if version == "regent"
+                                 else DEFAULT_BLOCK_COUNT)
+                        bcs = [table.get(machine, 64)]
+                    else:
+                        bcs = list(block_counts)
+                    for bc in bcs:
+                        cells.append(Cell(
+                            machine=machine, matrix=matrix,
+                            solver=solver, version=version,
+                            block_count=int(bc), iterations=iterations,
+                            width=width, first_touch=first_touch,
+                            seed=seed,
+                        ))
+    return cells

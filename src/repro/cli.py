@@ -7,6 +7,8 @@
                             --machine epyc --block-count 96
     python -m repro tune    --matrix Queen4147 --runtime deepsparse \\
                             --machine broadwell
+    python -m repro bench   --machine broadwell --solver lanczos \\
+                            --jobs 4 --profile
     python -m repro suite
 
 Everything prints the same tables the benchmarks produce; see
@@ -65,6 +67,40 @@ def build_parser() -> argparse.ArgumentParser:
                    default="broadwell")
     s.add_argument("--solver", choices=["lanczos", "lobpcg"],
                    default="lobpcg")
+    s.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for sweep cells "
+                        "(default: $REPRO_BENCH_JOBS or 1)")
+
+    s = sub.add_parser(
+        "bench",
+        help="run an experiment grid through the parallel orchestrator "
+             "(cached, deduplicated, deterministic)",
+    )
+    s.add_argument("--machine", nargs="+",
+                   choices=["broadwell", "epyc"], default=["broadwell"])
+    s.add_argument("--matrix", nargs="+", default=None,
+                   help="suite matrices (default: the representative "
+                        "8-matrix subset)")
+    s.add_argument("--solver", nargs="+",
+                   choices=["lanczos", "lobpcg"], default=["lanczos"])
+    s.add_argument("--version", nargs="+",
+                   choices=["libcsr", "libcsb", "deepsparse", "hpx",
+                            "regent"],
+                   default=["libcsr", "libcsb", "deepsparse", "hpx",
+                            "regent"])
+    s.add_argument("--block-count", nargs="+", type=int, default=None,
+                   help="block counts to sweep (default: the §5.4 "
+                        "rule-of-thumb granularity per version)")
+    s.add_argument("--iterations", type=int, default=2)
+    s.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for cache misses "
+                        "(default: $REPRO_BENCH_JOBS or 1)")
+    s.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache (force cold "
+                        "simulation, persist nothing)")
+    s.add_argument("--profile", action="store_true",
+                   help="print per-cell timing, cache statistics, and "
+                        "the slowest cells")
     return p
 
 
@@ -134,19 +170,15 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_tune(args) -> int:
-    from repro.analysis.experiment import run_version
-    from repro.matrices.suite import SUITE
-    from repro.tuning import candidate_block_sizes, recommend_block_count
+    from repro.bench import ExperimentRunner
+    from repro.tuning import recommend_block_count, sweep_block_counts
 
-    spec = SUITE[args.matrix]
-    times = {}
-    for bucket, _bs in candidate_block_sizes(spec.paper_rows).items():
-        mid = (bucket[0] + bucket[1]) // 2
-        res = run_version(args.machine, args.matrix, args.solver,
-                          args.runtime, block_count=mid, iterations=1)
-        times[bucket] = res.time_per_iteration
+    runner = ExperimentRunner(jobs=args.jobs)
+    times = sweep_block_counts(args.machine, args.matrix, args.solver,
+                               args.runtime, iterations=1, runner=runner)
+    for bucket, t in times.items():
         print(f"block count {bucket[0]:3d}-{bucket[1]:<3d}: "
-              f"{res.time_per_iteration * 1e3:9.2f} ms/iter")
+              f"{t * 1e3:9.2f} ms/iter")
     best = min(times, key=times.get)
     print(f"best bucket: {best[0]}-{best[1]}")
     try:
@@ -154,6 +186,47 @@ def _cmd_tune(args) -> int:
         print(f"paper rule of thumb: {rule[0]}-{rule[1]}")
     except KeyError:
         pass
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        DEFAULT_MATRICES,
+        ExperimentRunner,
+        ResultCache,
+        expand_grid,
+    )
+
+    cache = ResultCache(enabled=False) if args.no_cache else None
+    runner = ExperimentRunner(cache=cache, jobs=args.jobs,
+                              progress=print if args.profile else None)
+    cells = expand_grid(
+        machines=args.machine,
+        matrices=args.matrix or list(DEFAULT_MATRICES),
+        solvers=args.solver,
+        versions=args.version,
+        block_counts=args.block_count,
+        iterations=args.iterations,
+    )
+    results = runner.run_cells(cells)
+
+    # Results table: per (machine, matrix, solver) group, speedup over
+    # the libcsr baseline when it is part of the grid.
+    base = {}
+    for cell, res in zip(cells, results):
+        if cell.version == "libcsr":
+            base[(cell.machine, cell.matrix, cell.solver)] = res
+    print(f"{'cell':52s}{'t/iter (ms)':>13s}{'speedup':>9s}")
+    for cell, res in zip(cells, results):
+        b = base.get((cell.machine, cell.matrix, cell.solver))
+        speedup = (f"{res.speedup_over(b):9.2f}"
+                   if b is not None and b is not res else f"{'—':>9s}")
+        print(f"{cell.label():52s}{res.time_per_iteration * 1e3:13.2f}"
+              f"{speedup}")
+    if args.profile:
+        print()
+        print(runner.format_report())
+        print(f"cache: {runner.cache.stats()}")
     return 0
 
 
@@ -165,6 +238,7 @@ def main(argv=None) -> int:
         "solve": _cmd_solve,
         "compare": _cmd_compare,
         "tune": _cmd_tune,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

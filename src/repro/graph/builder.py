@@ -143,14 +143,14 @@ class DAGBuilder:
     def _note_read(self, dag: TaskDAG, tid: int, h: DataHandle) -> None:
         if h.name == self.matrix_name:
             return  # the matrix is never written: no edges possible
-        k = self._key(h)
+        k = (h.name, h.part)
         w = self._last_writer.get(k)
         if w is not None:
             dag.add_edge(w, tid)
         self._readers.setdefault(k, []).append(tid)
 
     def _note_write(self, dag: TaskDAG, tid: int, h: DataHandle) -> None:
-        k = self._key(h)
+        k = (h.name, h.part)
         w = self._last_writer.get(k)
         if w is not None:
             dag.add_edge(w, tid)  # WAW

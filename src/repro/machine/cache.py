@@ -13,11 +13,20 @@ The hierarchy is per-core L1 and L2 plus one shared L3 per L3 group
 every *other* core's private levels and other L3 groups — the MESI
 behaviour that makes the BSP versions pay coherence misses when the
 next kernel's static schedule lands a chunk on a different core.
+
+Implementation note: this is the innermost loop of the whole simulator
+(one ``CacheHierarchy.access`` per operand per task per iteration), so
+it is written for CPython speed — plain dicts in insertion order
+instead of ``OrderedDict`` (same LRU semantics: pop + reinsert moves a
+key to the MRU end, ``next(iter(d))`` is the LRU end), no per-call
+closures, and a precomputed core→L3-group map.  Semantics are frozen
+by ``tests/test_engine_equivalence.py``: every change here must keep
+simulated numbers bit-identical or bump
+:data:`repro.sim.cost.COST_MODEL_VERSION`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Tuple
 
 from repro.machine.topology import MachineSpec
@@ -43,25 +52,27 @@ class LRUCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = int(capacity)
         self.used = 0
-        self._entries: "OrderedDict[tuple, int]" = OrderedDict()
+        # Plain dict in insertion order == LRU order (pop + reinsert
+        # moves to the MRU end; the first key is the LRU victim).
+        self._entries: Dict[tuple, int] = {}
 
     def access(self, key: tuple, nbytes: int) -> int:
         """Touch ``nbytes`` of object ``key``; return missed bytes."""
         if nbytes <= 0:
             return 0
-        resident = self._entries.pop(key, 0)
-        hit = min(resident, nbytes)
-        miss = nbytes - hit
-        new_resident = min(nbytes, self.capacity)
-        self.used += new_resident - resident
-        self._entries[key] = new_resident  # most-recently-used position
-        self._evict()
+        entries = self._entries
+        resident = entries.pop(key, 0)
+        miss = nbytes - resident if resident < nbytes else 0
+        capacity = self.capacity
+        new_resident = nbytes if nbytes < capacity else capacity
+        used = self.used + new_resident - resident
+        entries[key] = new_resident  # most-recently-used position
+        if used > capacity:
+            while used > capacity and entries:
+                k = next(iter(entries))
+                used -= entries.pop(k)
+        self.used = used
         return miss
-
-    def _evict(self) -> None:
-        while self.used > self.capacity and self._entries:
-            _k, sz = self._entries.popitem(last=False)
-            self.used -= sz
 
     def invalidate(self, key: tuple) -> None:
         """Drop an object (coherence invalidation on remote write)."""
@@ -92,11 +103,18 @@ class CacheHierarchy:
     (priced by the memory model, which knows NUMA placement).
     """
 
+    __slots__ = ("machine", "l1", "l2", "l3", "_group_of",
+                 "_sharers", "_l3_sharers")
+
     def __init__(self, machine: MachineSpec):
         self.machine = machine
         self.l1 = [LRUCache(machine.l1_size) for _ in range(machine.n_cores)]
         self.l2 = [LRUCache(machine.l2_size) for _ in range(machine.n_cores)]
         self.l3 = [LRUCache(machine.l3_size) for _ in range(machine.n_l3_groups)]
+        # core id -> L3 group id, precomputed off the hot path.
+        self._group_of = tuple(
+            machine.l3_group_of_core(c) for c in range(machine.n_cores)
+        )
         # handle-key -> set of core ids / l3 group ids that may hold it;
         # bounds the invalidation sweep to actual sharers.
         self._sharers: Dict[tuple, set] = {}
@@ -106,33 +124,96 @@ class CacheHierarchy:
     def access(
         self, core: int, key: tuple, nbytes: int, write: bool = False
     ) -> Tuple[int, int, int]:
-        """Touch ``nbytes`` of ``key`` from ``core``; missed lines/level."""
+        """Touch ``nbytes`` of ``key`` from ``core``; missed lines/level.
+
+        The three :meth:`LRUCache.access` bodies are inlined here: this
+        method runs once per operand per task per iteration (~300k
+        times for one figure's cell set), and at that call count the
+        three method invocations plus their attribute traffic are a
+        measurable fraction of total simulation time.  The logic is
+        line-for-line the LRUCache algorithm; ``tests/test_cost_model``
+        cross-checks the two and the equivalence fixture pins results.
+        """
         if nbytes <= 0:
             return (0, 0, 0)
-        g = self.machine.l3_group_of_core(core)
-        m1 = self.l1[core].access(key, nbytes)
-        m2 = self.l2[core].access(key, m1) if m1 else 0
-        m3 = self.l3[g].access(key, m2) if m2 else 0
-        self._sharers.setdefault(key, set()).add(core)
-        self._l3_sharers.setdefault(key, set()).add(g)
-        if write:
-            self._invalidate_others(core, g, key)
-        lines = lambda b: -(-b // CACHE_LINE) if b else 0  # noqa: E731
-        return (lines(m1), lines(m2), lines(m3))
+        g = self._group_of[core]
+        # -- L1 (private) ---------------------------------------------
+        level = self.l1[core]
+        entries = level._entries
+        resident = entries.pop(key, 0)
+        m1 = nbytes - resident if resident < nbytes else 0
+        capacity = level.capacity
+        new_resident = nbytes if nbytes < capacity else capacity
+        used = level.used + new_resident - resident
+        entries[key] = new_resident
+        while used > capacity and entries:
+            used -= entries.pop(next(iter(entries)))
+        level.used = used
+        m2 = m3 = 0
+        if m1:
+            # -- L2 (private) -----------------------------------------
+            level = self.l2[core]
+            entries = level._entries
+            resident = entries.pop(key, 0)
+            m2 = m1 - resident if resident < m1 else 0
+            capacity = level.capacity
+            new_resident = m1 if m1 < capacity else capacity
+            used = level.used + new_resident - resident
+            entries[key] = new_resident
+            while used > capacity and entries:
+                used -= entries.pop(next(iter(entries)))
+            level.used = used
+            if m2:
+                # -- L3 (shared per group) ----------------------------
+                level = self.l3[g]
+                entries = level._entries
+                resident = entries.pop(key, 0)
+                m3 = m2 - resident if resident < m2 else 0
+                capacity = level.capacity
+                new_resident = m2 if m2 < capacity else capacity
+                used = level.used + new_resident - resident
+                entries[key] = new_resident
+                while used > capacity and entries:
+                    used -= entries.pop(next(iter(entries)))
+                level.used = used
+        sharers = self._sharers.get(key)
+        if sharers is None:
+            # Fresh singleton sharer sets: a write cannot have anyone
+            # else to invalidate, so the sweep is skipped outright.
+            self._sharers[key] = {core}
+            self._l3_sharers[key] = {g}
+        else:
+            sharers.add(core)
+            l3s = self._l3_sharers[key]
+            l3s.add(g)
+            # Common case after the add: we are the only sharer at
+            # both levels — _invalidate_others would no-op, so don't
+            # pay the call.
+            if write and (len(sharers) > 1 or len(l3s) > 1):
+                self._invalidate_others(core, g, key)
+        # ceil-divide missed bytes into 64-byte lines ((0+63)//64 == 0).
+        return (
+            (m1 + 63) // CACHE_LINE,
+            (m2 + 63) // CACHE_LINE,
+            (m3 + 63) // CACHE_LINE,
+        )
 
     def _invalidate_others(self, core: int, group: int, key: tuple) -> None:
         sharers = self._sharers.get(key)
-        if sharers:
+        if sharers and (len(sharers) > 1 or core not in sharers):
+            l1 = self.l1
+            l2 = self.l2
             for c in sharers:
                 if c != core:
-                    self.l1[c].invalidate(key)
-                    self.l2[c].invalidate(key)
+                    l1[c].invalidate(key)
+                    l2[c].invalidate(key)
             sharers.intersection_update({core})
         l3s = self._l3_sharers.get(key)
-        if l3s:
+        if l3s and (len(l3s) > 1 or group not in l3s):
+            l3 = self.l3
             for gg in l3s:
                 if gg != group:
-                    self.l3[gg].invalidate(key)
+                    l3[gg].invalidate(key)
             l3s.intersection_update({group})
 
     # ------------------------------------------------------------------

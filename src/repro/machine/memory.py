@@ -11,6 +11,12 @@ modelled by striping partitioned handles round-robin across domains
 ``first_touch=False`` everything lands on domain 0.  Unpartitioned
 (small) handles always live on domain 0 — they are tiny and
 cache-resident anyway.
+
+``dram_line_cost`` is on the simulator's innermost loop (once per
+operand touch that misses L3, and once per gather bundle), so the two
+possible outcomes — local vs remote line cost — and the per-core /
+per-key domain lookups are all precomputed; the placement rule itself
+is unchanged and pinned by ``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,12 @@ __all__ = ["MemoryModel"]
 class MemoryModel:
     """Maps handle keys to NUMA domains and prices DRAM line transfers."""
 
+    __slots__ = (
+        "machine", "first_touch", "scattered", "_n_parts",
+        "matrix_geometry", "_placement", "_core_domain", "_domain_memo",
+        "_local_cost", "_remote_cost", "_scattered_cost",
+    )
+
     def __init__(self, machine: MachineSpec, first_touch: bool = True,
                  n_parts: int = None, scattered: bool = False):
         self.machine = machine
@@ -35,11 +47,42 @@ class MemoryModel:
         #: domains instead of aligned — the NUMA sensitivity the paper
         #: observes for the BSP versions on EPYC.
         self.scattered = bool(scattered)
-        self.n_parts = n_parts
+        self._n_parts = n_parts
         #: (name, block columns) of the sparse matrix, whose handles are
         #: row-major block ids homed with their block row.
         self.matrix_geometry = None
         self._placement = {}
+        # -- hot-path precomputation (pure caching, no semantics) ------
+        self._domain_memo = {}
+        self._core_domain = tuple(
+            machine.domain_of_core(c) for c in range(machine.n_cores)
+        )
+        base = machine.dram_line_cost
+        d = machine.n_numa_domains
+        if not self.first_touch:
+            base = base * d ** 0.5
+        self._local_cost = base
+        self._remote_cost = base * machine.numa_penalty
+        if not self.first_touch:
+            self._scattered_cost = (
+                machine.dram_line_cost * (d ** 0.5) * machine.numa_penalty
+            )
+        else:
+            self._scattered_cost = (
+                machine.dram_line_cost
+                * (1 + (d - 1) * machine.numa_penalty) / d
+            )
+
+    @property
+    def n_parts(self):
+        return self._n_parts
+
+    @n_parts.setter
+    def n_parts(self, value) -> None:
+        # The placement rule depends on the partition count, so mutating
+        # it invalidates every memoized home domain.
+        self._n_parts = value
+        self._domain_memo.clear()
 
     def configure_from_dag(self, dag) -> None:
         """Adopt a DAG's partition geometry (set by the TDGG)."""
@@ -50,6 +93,7 @@ class MemoryModel:
         nbc = getattr(dag, "matrix_nbc", None)
         if name and nbc:
             self.matrix_geometry = (name, nbc)
+        self._domain_memo.clear()
 
     # ------------------------------------------------------------------
     def domain_of(self, key: tuple) -> int:
@@ -60,27 +104,37 @@ class MemoryModel:
         ``i·D // n_parts`` (contiguous blocks of chunks per domain).
         Without ``n_parts`` known, falls back to round-robin striping.
         """
+        memo = self._domain_memo
+        dom = memo.get(key)
+        if dom is not None:
+            return dom
         override = self._placement.get(key)
         if override is not None:
+            memo[key] = override
             return override
         name, part = key
         if not self.first_touch or part is None:
+            memo[key] = 0
             return 0
         if self.matrix_geometry and name == self.matrix_geometry[0]:
             part = part // self.matrix_geometry[1]  # block row of (i, j)
         d = self.machine.n_numa_domains
         if self.n_parts:
-            return min(d - 1, int(part) * d // self.n_parts)
-        return int(part) % d
+            dom = min(d - 1, int(part) * d // self.n_parts)
+        else:
+            dom = int(part) % d
+        memo[key] = dom
+        return dom
 
     def place(self, key: tuple, domain: int) -> None:
         """Pin a handle to a domain (overrides the striping rule)."""
         if not 0 <= domain < self.machine.n_numa_domains:
             raise ValueError(f"domain {domain} out of range")
         self._placement[key] = domain
+        self._domain_memo[key] = domain
 
     def is_remote(self, core: int, key: tuple) -> bool:
-        return self.machine.domain_of_core(core) != self.domain_of(key)
+        return self._core_domain[core] != self.domain_of(key)
 
     # ------------------------------------------------------------------
     def dram_line_cost(self, core: int, key: Optional[tuple]) -> float:
@@ -93,15 +147,15 @@ class MemoryModel:
         it reproduces Fig. 5's "up to 2.5×" on EPYC (D=8) while staying
         mild on Broadwell (D=2).
         """
-        if self.scattered and key is not None and key[1] is not None:
-            return self.dram_line_cost_scattered(core)
-        base = self.machine.dram_line_cost
-        remote = key is not None and self.is_remote(core, key)
-        if not self.first_touch:
-            base *= self.machine.n_numa_domains ** 0.5
-        if remote:
-            base *= self.machine.numa_penalty
-        return base
+        if key is not None:
+            if self.scattered and key[1] is not None:
+                return self._scattered_cost
+            dom = self._domain_memo.get(key)
+            if dom is None:
+                dom = self.domain_of(key)
+            if self._core_domain[core] != dom:
+                return self._remote_cost
+        return self._local_cost
 
     def dram_line_cost_scattered(self, core: int) -> float:
         """Expected line cost for accesses spread over all domains.
@@ -110,8 +164,4 @@ class MemoryModel:
         striped across every domain: 1/D of the lines are local, the
         rest pay the remote hop.
         """
-        base = self.machine.dram_line_cost
-        d = self.machine.n_numa_domains
-        if not self.first_touch:
-            return base * (d ** 0.5) * self.machine.numa_penalty
-        return base * (1 + (d - 1) * self.machine.numa_penalty) / d
+        return self._scattered_cost

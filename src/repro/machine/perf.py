@@ -65,6 +65,40 @@ class PerfCounters:
             out.append(mine / theirs if theirs else float("nan"))
         return tuple(out)
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (bit-exact round trip)."""
+        return {
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "l3_misses": self.l3_misses,
+            "tasks_executed": self.tasks_executed,
+            "busy_time": self.busy_time,
+            "overhead_time": self.overhead_time,
+            "compute_time": self.compute_time,
+            "memory_time": self.memory_time,
+            "kernel_time": dict(self.kernel_time),
+            "kernel_tasks": dict(self.kernel_tasks),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfCounters":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            l1_misses=int(d["l1_misses"]),
+            l2_misses=int(d["l2_misses"]),
+            l3_misses=int(d["l3_misses"]),
+            tasks_executed=int(d["tasks_executed"]),
+            busy_time=float(d["busy_time"]),
+            overhead_time=float(d["overhead_time"]),
+            compute_time=float(d["compute_time"]),
+            memory_time=float(d["memory_time"]),
+            kernel_time={str(k): float(v)
+                         for k, v in d.get("kernel_time", {}).items()},
+            kernel_tasks={str(k): int(v)
+                          for k, v in d.get("kernel_tasks", {}).items()},
+        )
+
     def merge(self, other: "PerfCounters") -> None:
         """Accumulate another counter block (multi-iteration totals)."""
         self.l1_misses += other.l1_misses

@@ -20,7 +20,15 @@ from repro.machine.cache import CacheHierarchy
 from repro.machine.memory import MemoryModel
 from repro.machine.topology import MachineSpec
 
-__all__ = ["CostModel", "KIND_EFFICIENCY", "TaskCharge"]
+__all__ = ["CostModel", "COST_MODEL_VERSION", "KIND_EFFICIENCY", "TaskCharge"]
+
+#: Semantic fingerprint of the pricing model.  Bump whenever a change
+#: alters *simulated numbers* (efficiencies, cache pricing, gather
+#: model, NUMA costs…) so the on-disk result cache
+#: (:mod:`repro.bench.cache`) invalidates stale entries.  Pure
+#: performance refactors that keep results bit-identical — proven by
+#: ``tests/test_engine_equivalence.py`` — must NOT bump it.
+COST_MODEL_VERSION = 1
 
 #: Fraction of peak flops each kernel class sustains when data is in L1.
 KIND_EFFICIENCY = {
@@ -69,6 +77,11 @@ class CostModel:
         :meth:`_gather_misses`.
     """
 
+    __slots__ = (
+        "machine", "cache", "memory", "gather_intensity", "_peak_core",
+        "_l2c", "_l3c", "_prep", "_prep_tasks", "_lazy_info",
+    )
+
     def __init__(
         self,
         machine: MachineSpec,
@@ -81,6 +94,15 @@ class CostModel:
         self.memory = memory
         self.gather_intensity = gather_intensity
         self._peak_core = machine.ghz * 1e9 * machine.flops_per_cycle
+        self._l2c = machine.l2_line_cost
+        self._l3c = machine.l3_line_cost
+        # Per-task pricing invariants (everything in charge() that does
+        # not depend on core or on mutable cache state).  ``prepare``
+        # fills a tid-indexed list for a whole DAG; ad-hoc charges fall
+        # back to a lazy per-object memo.
+        self._prep = None
+        self._prep_tasks = None
+        self._lazy_info = {}
 
     # ------------------------------------------------------------------
     def compute_seconds(self, task: Task) -> float:
@@ -173,41 +195,150 @@ class CostModel:
         )
         return (g1, g2, g3), time
 
+    # ------------------------------------------------------------------
+    # Per-task invariants: everything below is iteration-invariant, so
+    # it is computed once per task (per run) instead of once per
+    # ``charge`` call.  The arithmetic is kept term-for-term identical
+    # to the historical per-call formulation — the equivalence test
+    # asserts bit-identical simulated numbers.
+    def _task_info(self, task: Task) -> tuple:
+        """(compute_seconds, operand touches, gather bundle) of a task.
+
+        ``touches`` is a tuple of ``(key, nbytes, is_write)`` in
+        :meth:`Task.touched` order with effective-byte overrides
+        applied; ``gather`` is ``None`` or
+        ``(g1, g2, g3, fixed_time, scattered, xkey)`` where
+        ``fixed_time`` is the L2/L3 leg of the gather cost and only the
+        DRAM leg (NUMA-aware, core-dependent) is priced per call.
+        """
+        compute = self.compute_seconds(task)
+        write_keys = {(h.name, h.part) for h in task.writes}
+        touched_bytes = self._effective_bytes(task)
+        touches = tuple(
+            (
+                (h.name, h.part),
+                touched_bytes.get(h.name, h.nbytes),
+                (h.name, h.part) in write_keys,
+            )
+            for h in task.touched()
+        )
+        gather = None
+        span = task.shape.get("gather_span", 0)
+        if span > 0:
+            nnz = task.shape.get("nnz", 0)
+            retouches = nnz * self.gather_intensity
+            if retouches > 0:
+                m = self.machine
+                p1 = max(0.0, 1.0 - m.l1_size / span)
+                p2 = max(0.0, 1.0 - m.l2_size / span)
+                l3_share = m.l3_size / m.l3_group_cores
+                p3 = max(0.0, 1.0 - l3_share / span)
+                g1 = int(retouches * p1)
+                g2 = int(retouches * p2)
+                g3 = int(retouches * p3)
+                chunk_bytes = (task.shape.get("cols", 0)
+                               * task.shape.get("width", 1) * 8)
+                scattered = span > 1.5 * max(1, chunk_bytes)
+                xkey = None
+                if not scattered:
+                    for h in task.reads:
+                        if h.part is not None and \
+                                h.name != task.params.get("A"):
+                            xkey = (h.name, h.part)
+                            break
+                fixed = (g1 - g2) * self._l2c + (g2 - g3) * self._l3c
+                gather = (g1, g2, g3, fixed, scattered, xkey)
+        return (compute, touches, gather)
+
+    def prepare(self, dag) -> None:
+        """Precompute pricing invariants for every task of one DAG.
+
+        Called by the engines before their hot loop; ``charge`` falls
+        back to a lazy per-task memo for tasks outside the prepared
+        DAG (ad-hoc pricing in tests and analysis code).
+
+        The invariants depend only on the task and on *immutable*
+        pricing inputs (machine constants, ``gather_intensity``) —
+        never on the mutable cache/NUMA state — so they are stashed on
+        the DAG keyed by those inputs: five runtimes executing the same
+        memoized DAG on the same machine price it once.
+        """
+        tasks = dag.tasks
+        self._prep_tasks = tasks
+        key = (self.machine, self.gather_intensity)
+        store = getattr(dag, "_cost_prep", None)
+        if store is None:
+            store = {}
+            try:
+                dag._cost_prep = store
+            except AttributeError:  # slotted/foreign DAG type
+                self._prep = [self._task_info(t) for t in tasks]
+                return
+        prep = store.get(key)
+        if prep is None or len(prep) != len(tasks):
+            prep = [self._task_info(t) for t in tasks]
+            store[key] = prep
+        self._prep = prep
+
     def charge(self, task: Task, core: int) -> TaskCharge:
         """Execute the task's memory behaviour on ``core`` and price it.
 
         Mutates the cache hierarchy (this run's state); returns the
         task's duration decomposition and per-level missed lines.
         """
-        compute = self.compute_seconds(task)
+        prep = self._prep
+        tid = task.tid
+        if (prep is not None and 0 <= tid < len(prep)
+                and self._prep_tasks[tid] is task):
+            compute, touches, gather = prep[tid]
+        else:
+            memo = self._lazy_info.get(id(task))
+            if memo is None or memo[0] is not task:
+                memo = (task, self._task_info(task))
+                self._lazy_info[id(task)] = memo
+            compute, touches, gather = memo[1]
+        cache_access = self.cache.access
+        dram_cost = self.memory.dram_line_cost
+        l2c = self._l2c
+        l3c = self._l3c
         l1 = l2 = l3 = 0
         memory_t = 0.0
-        write_keys = {(h.name, h.part) for h in task.writes}
-        touched_bytes = self._effective_bytes(task)
-        for h in task.touched():
-            key = (h.name, h.part)
-            m1, m2, m3 = self.cache.access(
-                core, key, touched_bytes.get(h.name, h.nbytes),
-                write=key in write_keys,
-            )
+        for key, nbytes, is_write in touches:
+            m1, m2, m3 = cache_access(core, key, nbytes, is_write)
+            if not m1:
+                # L1 hit: every term below is +0.0, and x + 0.0 == x
+                # bit-exactly for the non-negative accumulators here.
+                continue
             l1 += m1
             l2 += m2
             l3 += m3
-            served_l2 = m1 - m2
-            served_l3 = m2 - m3
-            memory_t += (
-                served_l2 * self.machine.l2_line_cost
-                + served_l3 * self.machine.l3_line_cost
-                + m3 * self.memory.dram_line_cost(core, key)
-            )
-        (g1, g2, g3), gather_t = self._gather_misses(task, core)
-        l1 += g1
-        l2 += g2
-        l3 += g3
-        memory_t += gather_t
+            if m3:
+                memory_t += (
+                    (m1 - m2) * l2c
+                    + (m2 - m3) * l3c
+                    + m3 * dram_cost(core, key)
+                )
+            else:
+                # No DRAM leg: skip the (NUMA-aware, core-dependent)
+                # line-cost lookup entirely.  `m3 == 0` makes the third
+                # term exactly +0.0, so dropping it is bit-identical.
+                memory_t += (m1 - m2) * l2c + m2 * l3c
+        if gather is not None:
+            g1, g2, g3, fixed, scattered, xkey = gather
+            # NUMA pricing of the gather's DRAM leg (see _gather_misses).
+            if scattered:
+                dram = self.memory.dram_line_cost_scattered(core)
+            else:
+                dram = dram_cost(core, xkey)
+            l1 += g1
+            l2 += g2
+            l3 += g3
+            memory_t += fixed + g3 * dram
         # Compute and memory overlap partially on an out-of-order core;
         # a max() would assume perfect overlap, a sum none.  Memory-bound
         # sparse kernels sit close to "no overlap" because the gathers
         # serialize behind the loads, so charge the sum.
-        duration = compute + memory_t
-        return TaskCharge(duration, compute, memory_t, (l1, l2, l3))
+        return tuple.__new__(
+            TaskCharge,
+            (compute + memory_t, compute, memory_t, (l1, l2, l3)),
+        )

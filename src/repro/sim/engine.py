@@ -26,10 +26,10 @@ from repro.machine.memory import MemoryModel
 from repro.machine.perf import PerfCounters
 from repro.machine.topology import MachineSpec
 from repro.sim.cost import CostModel
-from repro.sim.flowgraph import FlowGraph
+from repro.sim.flowgraph import FlowGraph, FlowSummary
 from repro.sim.schedulers import Scheduler
 
-__all__ = ["RunResult", "SimulationEngine", "run_bsp"]
+__all__ = ["RunResult", "RunResultSummary", "SimulationEngine", "run_bsp"]
 
 _EPS = 1e-15
 
@@ -55,6 +55,76 @@ class RunResult:
     def speedup_over(self, baseline: "RunResult") -> float:
         """Speedup relative to a baseline run (libcsr in the paper)."""
         return baseline.time_per_iteration / self.time_per_iteration
+
+    def summary(self) -> "RunResultSummary":
+        """Serializable aggregate of this run (flow records dropped)."""
+        return RunResultSummary(
+            machine=self.machine,
+            policy=self.policy,
+            total_time=self.total_time,
+            iteration_times=list(self.iteration_times),
+            counters=self.counters,
+            flow=self.flow.summary(),
+            n_cores=self.n_cores,
+            n_tasks_per_iteration=self.n_tasks_per_iteration,
+        )
+
+
+@dataclass
+class RunResultSummary:
+    """What the on-disk result cache stores for one simulated run.
+
+    Drop-in for :class:`RunResult` everywhere the benchmarks and the
+    analysis layer read results — timing, counters, flow *aggregates* —
+    but without the per-task :class:`FlowRecord` list, so it serializes
+    to a few KB regardless of DAG size.  ``to_dict``/``from_dict``
+    round-trip bit-exactly (floats survive via ``repr`` in JSON).
+    """
+
+    machine: str
+    policy: str
+    total_time: float
+    iteration_times: List[float]
+    counters: PerfCounters
+    flow: FlowSummary
+    n_cores: int
+    n_tasks_per_iteration: int
+
+    @property
+    def time_per_iteration(self) -> float:
+        return self.total_time / max(1, len(self.iteration_times))
+
+    def speedup_over(self, baseline) -> float:
+        return baseline.time_per_iteration / self.time_per_iteration
+
+    def summary(self) -> "RunResultSummary":
+        return self
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "policy": self.policy,
+            "total_time": self.total_time,
+            "iteration_times": list(self.iteration_times),
+            "counters": self.counters.to_dict(),
+            "flow": self.flow.to_dict(),
+            "n_cores": self.n_cores,
+            "n_tasks_per_iteration": self.n_tasks_per_iteration,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResultSummary":
+        return cls(
+            machine=str(d["machine"]),
+            policy=str(d["policy"]),
+            total_time=float(d["total_time"]),
+            iteration_times=[float(t) for t in d["iteration_times"]],
+            counters=PerfCounters.from_dict(d["counters"]),
+            flow=FlowSummary.from_dict(d.get("flow", {})),
+            n_cores=int(d["n_cores"]),
+            n_tasks_per_iteration=int(d["n_tasks_per_iteration"]),
+        )
 
 
 def _default_barrier_cost(n_cores: int) -> float:
@@ -108,8 +178,11 @@ class SimulationEngine:
         if self.memory.n_parts is None:
             self.memory.n_parts = _max_partitions(dag)
         scheduler.prepare(dag, self.machine, self.memory, seed=self.seed)
+        self.cost.prepare(dag)
         counters = PerfCounters()
-        flow = FlowGraph()
+        # record_flow=False must actually skip recording, not record
+        # every task and throw the trace away afterwards.
+        flow = FlowGraph() if record_flow else None
         clock = 0.0
         iteration_times = []
         for it in range(iterations):
@@ -143,59 +216,113 @@ class SimulationEngine:
                     release_heap, (scheduler.release_time(tid, t0), tid, -1)
                 )
         finish_heap = []  # (time, core, tid)
-        idle = set(range(self.machine.n_cores))
+        n_cores = self.machine.n_cores
+        # Idle cores as a flag array scanned in ascending id order —
+        # same assignment order as the historical ``sorted(idle)``
+        # without re-sorting a set on every scheduling round.
+        idle = bytearray([1]) * n_cores
+        n_idle = n_cores
         completed = 0
         time = t0
         tasks = dag.tasks
+        succ = dag.succ
+        charge = self.cost.charge
+        pick = scheduler.pick
+        overhead_of = scheduler.overhead
+        has_ready = scheduler.has_ready
+        release_time = scheduler.release_time
+        record_flow = flow.record if flow is not None else None
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # Counter accumulation in locals, seeded from the running values
+        # and stored back once per iteration: the sequence of float adds
+        # is identical to per-task ``counters.record_task`` calls (same
+        # running accumulator, same task order), so results are
+        # bit-exact while the hot loop touches no instance attributes.
+        n_exec = counters.tasks_executed
+        busy_t = counters.busy_time
+        ovh_t = counters.overhead_time
+        comp_t = counters.compute_time
+        mem_t = counters.memory_time
+        l1m = counters.l1_misses
+        l2m = counters.l2_misses
+        l3m = counters.l3_misses
+        ktime = counters.kernel_time
+        ktasks = counters.kernel_tasks
+        ktime_get = ktime.get
+        ktasks_get = ktasks.get
         while completed < n:
             while release_heap and release_heap[0][0] <= time + _EPS:
-                _, tid, enabler = heapq.heappop(release_heap)
+                _, tid, enabler = heappop(release_heap)
                 scheduler.on_ready(tid, time,
                                    enabler if enabler >= 0 else None)
             # Hand ready tasks to idle cores (policy picks per core).
             assigned = False
-            if scheduler.has_ready() and idle:
-                for core in sorted(idle):
-                    tid = scheduler.pick(core, time)
+            if n_idle and has_ready():
+                for core in range(n_cores):
+                    if not idle[core]:
+                        continue
+                    tid = pick(core, time)
                     if tid is None:
                         continue
                     task = tasks[tid]
-                    overhead = scheduler.overhead(tid)
-                    charge = self.cost.charge(task, core)
-                    dur = charge.duration + overhead
-                    heapq.heappush(finish_heap, (time + dur, core, tid))
-                    counters.record_task(
-                        task.kernel, dur, charge.misses, overhead,
-                        charge.compute, charge.memory,
-                    )
-                    flow.record(tid, task.kernel, core, time, time + dur, it)
-                    idle.discard(core)
+                    overhead = overhead_of(tid)
+                    dur, compute, memory_t, (m1, m2, m3) = charge(task, core)
+                    dur += overhead
+                    heappush(finish_heap, (time + dur, core, tid))
+                    kernel = task.kernel
+                    n_exec += 1
+                    busy_t += dur
+                    ovh_t += overhead
+                    comp_t += compute
+                    mem_t += memory_t
+                    l1m += m1
+                    l2m += m2
+                    l3m += m3
+                    ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                    ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                    if record_flow is not None:
+                        record_flow(tid, kernel, core, time,
+                                    time + dur, it)
+                    idle[core] = 0
+                    n_idle -= 1
                     assigned = True
-                    if not scheduler.has_ready():
+                    if not has_ready():
                         break
             if assigned:
                 continue
             # Nothing assignable now: advance to the next event.
-            candidates = []
             if finish_heap:
-                candidates.append(finish_heap[0][0])
-            if release_heap and idle:
-                candidates.append(release_heap[0][0])
-            if not candidates:
+                time = finish_heap[0][0]
+                if n_idle and release_heap and release_heap[0][0] < time:
+                    time = release_heap[0][0]
+            elif n_idle and release_heap:
+                time = release_heap[0][0]
+            else:
                 raise RuntimeError(
                     "simulation deadlock: tasks remain but no events pending"
                 )
-            time = min(candidates)
             while finish_heap and finish_heap[0][0] <= time + _EPS:
-                _, core, tid = heapq.heappop(finish_heap)
-                idle.add(core)
+                _, core, tid = heappop(finish_heap)
+                idle[core] = 1
+                n_idle += 1
                 completed += 1
                 scheduler.on_complete(tid, core)
-                for v in dag.succ[tid]:
+                for v in succ[tid]:
                     indeg[v] -= 1
                     if indeg[v] == 0:
-                        rt = max(scheduler.release_time(v, t0), time)
-                        heapq.heappush(release_heap, (rt, v, core))
+                        rt = release_time(v, t0)
+                        if rt < time:
+                            rt = time
+                        heappush(release_heap, (rt, v, core))
+        counters.tasks_executed = n_exec
+        counters.busy_time = busy_t
+        counters.overhead_time = ovh_t
+        counters.compute_time = comp_t
+        counters.memory_time = mem_t
+        counters.l1_misses = l1m
+        counters.l2_misses = l2m
+        counters.l3_misses = l3m
         return time
 
 
@@ -227,102 +354,135 @@ def run_bsp(
     if memory.n_parts is None:
         memory.n_parts = _max_partitions(dag)
     cost = CostModel(machine, cache, memory)
+    cost.prepare(dag)
     counters = PerfCounters()
     flow = FlowGraph()
     n_cores = machine.n_cores
+    tasks = dag.tasks
+    pred = dag.pred
 
     # Phase partition: contiguous runs of equal seq, in program order.
     phases: List[List[int]] = []
     last_seq = None
-    for t in dag.tasks:
+    for t in tasks:
         if t.seq != last_seq:
             phases.append([])
             last_seq = t.seq
         phases[-1].append(t.tid)
 
+    # The static chunk→core assignment of every phase is iteration-
+    # invariant, so it is computed once up front (it used to be redone
+    # per iteration).  Static chunked assignment in partition order:
+    # library kernels balance differently per kernel class — MKL splits
+    # sparse kernels by nonzeros, dense ones by rows — so the
+    # chunk→core mapping shifts between phases on skewed matrices (the
+    # cross-kernel locality loss inherent to the fork-join model).
+    phase_assignments: List[List[tuple]] = []
+    for phase in phases:
+        # Row-group order; reduce tasks (no row index) sort last,
+        # which is also a topological order of intra-phase edges.
+        order = sorted(
+            phase,
+            key=lambda tid: (
+                tasks[tid].params.get("i", float("inf")), tid
+            ),
+        )
+        # The parallel loop ranges over row blocks: all tasks of a
+        # row group stay on one core (the inner column loop is
+        # serial), which also preserves intra-phase dependence
+        # chains.  Library BSP phases split the groups statically
+        # by row count; on matrices with skewed nonzero
+        # distributions the heaviest chunk straggles and the
+        # barrier makes everyone wait — the §1 load-imbalance cost
+        # of the BSP model.  Set ``nnz_balanced`` for an idealized
+        # baseline that splits sparse phases by nonzeros instead.
+        groups: List[List[int]] = []
+        last_i = object()
+        for tid in order:
+            gi = tasks[tid].params.get("i", tid)
+            if gi != last_i:
+                groups.append([])
+                last_i = gi
+            groups[-1].append(tid)
+        ng = len(groups)
+        if tasks[order[0]].kind == "sparse" and nnz_balanced:
+            weights = [
+                sum(max(1.0, tasks[t].shape.get("nnz", 1))
+                    for t in g)
+                for g in groups
+            ]
+            total_w = sum(weights)
+            cum = 0.0
+            group_core = []
+            for wgt in weights:
+                group_core.append(
+                    min(n_cores - 1, int(cum / total_w * n_cores))
+                )
+                cum += wgt
+        else:
+            group_core = [k * n_cores // ng for k in range(ng)]
+        phase_assignments.append([
+            (tid, group_core[k])
+            for k, g in enumerate(groups)
+            for tid in g
+        ])
+
+    charge = cost.charge
+    frecord = flow.record if record_flow else None
+    # Local counter accumulation (bit-exact: same adds, same order as
+    # per-task ``record_task`` calls on the fresh counters object).
+    n_exec = 0
+    busy_t = ovh_t = comp_t = mem_t = 0.0
+    l1m = l2m = l3m = 0
+    ktime = counters.kernel_time
+    ktasks = counters.kernel_tasks
+    ktime_get = ktime.get
+    ktasks_get = ktasks.get
     clock = 0.0
     iteration_times = []
     for it in range(iterations):
         t0 = clock
-        for phase in phases:
-            # Static chunked assignment in partition order.  Library
-            # kernels balance differently per kernel class — MKL splits
-            # sparse kernels by nonzeros, dense ones by rows — so the
-            # chunk→core mapping shifts between phases on skewed
-            # matrices (the cross-kernel locality loss inherent to the
-            # fork-join model).
-            # Row-group order; reduce tasks (no row index) sort last,
-            # which is also a topological order of intra-phase edges.
-            order = sorted(
-                phase,
-                key=lambda tid: (
-                    dag.tasks[tid].params.get("i", float("inf")), tid
-                ),
-            )
+        for assignment in phase_assignments:
             core_clock = [clock] * n_cores
-            # The parallel loop ranges over row blocks: all tasks of a
-            # row group stay on one core (the inner column loop is
-            # serial), which also preserves intra-phase dependence
-            # chains.  Library BSP phases split the groups statically
-            # by row count; on matrices with skewed nonzero
-            # distributions the heaviest chunk straggles and the
-            # barrier makes everyone wait — the §1 load-imbalance cost
-            # of the BSP model.  Set ``nnz_balanced`` for an idealized
-            # baseline that splits sparse phases by nonzeros instead.
-            groups: List[List[int]] = []
-            last_i = object()
-            for tid in order:
-                gi = dag.tasks[tid].params.get("i", tid)
-                if gi != last_i:
-                    groups.append([])
-                    last_i = gi
-                groups[-1].append(tid)
-            ng = len(groups)
-            if dag.tasks[order[0]].kind == "sparse" and nnz_balanced:
-                weights = [
-                    sum(max(1.0, dag.tasks[t].shape.get("nnz", 1))
-                        for t in g)
-                    for g in groups
-                ]
-                total_w = sum(weights)
-                cum = 0.0
-                group_core = []
-                for wgt in weights:
-                    group_core.append(
-                        min(n_cores - 1, int(cum / total_w * n_cores))
-                    )
-                    cum += wgt
-            else:
-                group_core = [k * n_cores // ng for k in range(ng)]
-            assignment = [
-                (tid, group_core[k])
-                for k, g in enumerate(groups)
-                for tid in g
-            ]
             phase_end: dict = {}
             for tid, core in assignment:
-                task = dag.tasks[tid]
-                charge = cost.charge(task, core)
-                dur = charge.duration + loop_overhead
+                task = tasks[tid]
+                dur, compute, memory_t, (m1, m2, m3) = charge(task, core)
+                dur += loop_overhead
                 # Intra-phase dependences (row chains stay on one core;
                 # reduce tasks read partials from other cores) delay
                 # the start beyond the core's own availability.
                 start = core_clock[core]
-                for p in dag.pred[tid]:
+                for p in pred[tid]:
                     e = phase_end.get(p)
                     if e is not None and e > start:
                         start = e
-                core_clock[core] = start + dur
-                phase_end[tid] = start + dur
-                counters.record_task(
-                    task.kernel, dur, charge.misses, loop_overhead,
-                    charge.compute, charge.memory,
-                )
-                if record_flow:
-                    flow.record(tid, task.kernel, core, start,
-                                core_clock[core], it)
+                end = start + dur
+                core_clock[core] = end
+                phase_end[tid] = end
+                kernel = task.kernel
+                n_exec += 1
+                busy_t += dur
+                ovh_t += loop_overhead
+                comp_t += compute
+                mem_t += memory_t
+                l1m += m1
+                l2m += m2
+                l3m += m3
+                ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                if frecord is not None:
+                    frecord(tid, kernel, core, start, end, it)
             clock = max(core_clock) + barrier_cost
         iteration_times.append(clock - t0)
+    counters.tasks_executed = n_exec
+    counters.busy_time = busy_t
+    counters.overhead_time = ovh_t
+    counters.compute_time = comp_t
+    counters.memory_time = mem_t
+    counters.l1_misses = l1m
+    counters.l2_misses = l2m
+    counters.l3_misses = l3m
     return RunResult(
         machine=machine.name,
         policy=flavor,

@@ -14,6 +14,7 @@ from repro.tuning.blocksize import (
     bucket_of_count,
     candidate_block_sizes,
     recommend_block_count,
+    sweep_block_counts,
     sweep_block_sizes,
 )
 from repro.tuning.profiles import PerformanceProfile, performance_profiles
@@ -24,6 +25,7 @@ __all__ = [
     "bucket_of_count",
     "candidate_block_sizes",
     "recommend_block_count",
+    "sweep_block_counts",
     "sweep_block_sizes",
     "PerformanceProfile",
     "performance_profiles",

@@ -21,6 +21,7 @@ __all__ = [
     "block_size_for_count",
     "candidate_block_sizes",
     "recommend_block_count",
+    "sweep_block_counts",
     "sweep_block_sizes",
 ]
 
@@ -100,3 +101,45 @@ def sweep_block_sizes(
     if buckets is not None:
         cands = {b: s for b, s in cands.items() if b in buckets}
     return {bucket: run_at(size) for bucket, size in cands.items()}
+
+
+def sweep_block_counts(
+    machine: str,
+    matrix: str,
+    solver: str,
+    version: str,
+    iterations: int = 1,
+    buckets=None,
+    runner=None,
+) -> Dict[Tuple[int, int], float]:
+    """Bucket → simulated seconds/iteration for one evaluation cell.
+
+    The paper-scale realization of :func:`sweep_block_sizes`: each
+    bucket's midpoint block count is simulated through the experiment
+    orchestrator (:class:`repro.bench.runner.ExperimentRunner`), so
+    sweep cells are deduplicated, persisted in the on-disk result
+    cache, and optionally fanned out over worker processes.  A repeat
+    sweep — or one whose cells any figure already ran — costs only
+    JSON reads.
+    """
+    from repro.bench.runner import Cell, ExperimentRunner
+    from repro.matrices.suite import SUITE
+
+    nrows = SUITE[matrix].paper_rows
+    cands = candidate_block_sizes(nrows)
+    if buckets is not None:
+        cands = {b: s for b, s in cands.items() if b in buckets}
+    chosen = list(cands)
+    if runner is None:
+        runner = ExperimentRunner()
+    cells = [
+        Cell(machine=machine, matrix=matrix, solver=solver,
+             version=version, block_count=(lo + hi) // 2,
+             iterations=iterations)
+        for lo, hi in chosen
+    ]
+    results = runner.run_cells(cells)
+    return {
+        bucket: res.time_per_iteration
+        for bucket, res in zip(chosen, results)
+    }

@@ -1,0 +1,151 @@
+"""Correctness of the content-addressed on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.experiment import run_version
+from repro.bench.cache import (
+    CACHE_SALT,
+    ResultCache,
+    cache_key,
+    default_cache,
+)
+from repro.bench.runner import Cell
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+CONFIG = Cell(machine="broadwell", matrix="inline1", solver="lanczos",
+              version="deepsparse", block_count=16,
+              iterations=1).config()
+
+
+def _summary():
+    return run_version("broadwell", "inline1", "lanczos", "deepsparse",
+                       block_count=16, iterations=1).summary()
+
+
+# ----------------------------------------------------------------------
+# keying
+# ----------------------------------------------------------------------
+def test_key_is_deterministic_and_order_insensitive():
+    k1 = cache_key(CONFIG)
+    k2 = cache_key(dict(reversed(list(CONFIG.items()))))
+    assert k1 == k2
+    assert len(k1) == 64  # sha256 hex
+
+
+def test_key_is_stable_across_processes():
+    """No PYTHONHASHSEED / id() leakage into the content address."""
+    code = (
+        "import json, sys; from repro.bench.cache import cache_key; "
+        "print(cache_key(json.loads(sys.argv[1])))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(CONFIG)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": SRC, "PYTHONHASHSEED": "12345"},
+    )
+    assert out.stdout.strip() == cache_key(CONFIG)
+
+
+def test_key_depends_on_config_and_salt():
+    other = dict(CONFIG, block_count=32)
+    assert cache_key(other) != cache_key(CONFIG)
+    assert cache_key(CONFIG, salt="cost-v999") != cache_key(CONFIG)
+
+
+def test_libcsr_block_count_is_normalized_out_of_the_key():
+    a = Cell(machine="broadwell", matrix="inline1", solver="lanczos",
+             version="libcsr", block_count=16).config()
+    b = Cell(machine="broadwell", matrix="inline1", solver="lanczos",
+             version="libcsr", block_count=480).config()
+    assert cache_key(a) == cache_key(b)
+
+
+# ----------------------------------------------------------------------
+# store behaviour
+# ----------------------------------------------------------------------
+def test_miss_then_hit_round_trips_bit_exactly(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    assert cache.get(CONFIG) is None
+    summary = _summary()
+    cache.put(CONFIG, summary)
+    assert CONFIG in cache
+    back = cache.get(CONFIG)
+    assert back == summary
+    assert back.total_time == summary.total_time
+    assert back.counters.kernel_time == summary.counters.kernel_time
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["writes"] == 1
+
+
+def test_salt_bump_invalidates_old_entries(tmp_path):
+    old = ResultCache(root=str(tmp_path), salt=CACHE_SALT)
+    old.put(CONFIG, _summary())
+    bumped = ResultCache(root=str(tmp_path), salt="cost-v999/entry-v1")
+    assert bumped.get(CONFIG) is None  # old entry no longer addressed
+    assert old.get(CONFIG) is not None  # ...but still there for old code
+
+
+def test_disabled_cache_never_reads_or_writes(tmp_path, monkeypatch):
+    primed = ResultCache(root=str(tmp_path))
+    primed.put(CONFIG, _summary())
+    # Explicit disable: the existing entry must not be served.
+    off = ResultCache(root=str(tmp_path), enabled=False)
+    assert off.get(CONFIG) is None
+    off.put(CONFIG, _summary())
+    assert off.stats()["writes"] == 0
+    # Environment disable takes effect at construction.
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    env_off = ResultCache(root=str(tmp_path))
+    assert not env_off.enabled
+    assert env_off.get(CONFIG) is None
+
+
+def test_env_root_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    cache = ResultCache()
+    assert cache.root == str(tmp_path / "alt")
+
+
+def test_corrupted_entry_is_a_miss_and_is_removed(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    cache.put(CONFIG, _summary())
+    path = cache.path_for(cache.key(CONFIG))
+
+    # Truncated JSON.
+    with open(path, "w", encoding="utf-8") as f:
+        f.write('{"format": 1, "summary": {"mach')
+    assert cache.get(CONFIG) is None
+    assert not os.path.exists(path)
+
+    # Valid JSON, wrong schema version.
+    cache.put(CONFIG, _summary())
+    with open(path, "r", encoding="utf-8") as f:
+        entry = json.load(f)
+    entry["format"] = 999
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entry, f)
+    assert cache.get(CONFIG) is None
+    assert not os.path.exists(path)
+
+    # After the corruption was dropped, a fresh put works again.
+    cache.put(CONFIG, _summary())
+    assert cache.get(CONFIG) is not None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    cache.put(CONFIG, _summary())
+    cache.put(dict(CONFIG, iterations=2), _summary())
+    assert cache.clear() == 2
+    assert cache.get(CONFIG) is None
+
+
+def test_default_cache_is_process_wide_singleton():
+    assert default_cache() is default_cache()

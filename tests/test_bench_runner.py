@@ -1,0 +1,151 @@
+"""The experiment orchestrator: dedupe, ordering, caching, parallelism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.runner import (
+    Cell,
+    DEFAULT_BLOCK_COUNT,
+    ExperimentRunner,
+    REGENT_BLOCK_COUNT,
+    expand_grid,
+)
+
+CELLS = [
+    Cell(machine="broadwell", matrix="inline1", solver="lanczos",
+         version=v, block_count=16, iterations=1)
+    for v in ("libcsr", "deepsparse", "hpx")
+]
+
+
+def _runner(tmp_path, **kw):
+    return ExperimentRunner(cache=ResultCache(root=str(tmp_path)), **kw)
+
+
+# ----------------------------------------------------------------------
+# grid expansion
+# ----------------------------------------------------------------------
+def test_expand_grid_is_deterministic_and_rule_of_thumb_defaults():
+    cells = expand_grid(machines=["broadwell"], matrices=["inline1"],
+                        solvers=["lanczos"])
+    assert cells == expand_grid(machines=["broadwell"],
+                                matrices=["inline1"],
+                                solvers=["lanczos"])
+    by_version = {c.version: c for c in cells}
+    assert by_version["deepsparse"].block_count == \
+        DEFAULT_BLOCK_COUNT["broadwell"]
+    assert by_version["regent"].block_count == \
+        REGENT_BLOCK_COUNT["broadwell"]
+
+
+def test_expand_grid_explicit_block_counts():
+    cells = expand_grid(machines=["broadwell"], matrices=["inline1"],
+                        solvers=["lanczos"], versions=["deepsparse"],
+                        block_counts=[16, 32])
+    assert [c.block_count for c in cells] == [16, 32]
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def test_results_in_input_order_with_dedupe(tmp_path):
+    runner = _runner(tmp_path)
+    # Duplicates (including libcsr at a different block count, which
+    # normalizes to the same key) must be simulated exactly once.
+    libcsr_alias = Cell(machine="broadwell", matrix="inline1",
+                        solver="lanczos", version="libcsr",
+                        block_count=480, iterations=1)
+    batch = [CELLS[0], CELLS[1], CELLS[0], libcsr_alias, CELLS[2]]
+    results = runner.run_cells(batch)
+    assert len(results) == len(batch)
+    assert len(runner.report) == 3  # unique cells only
+    assert results[0] is results[2]  # same key -> same object
+    assert results[0] is results[3]  # normalized libcsr alias
+    assert results[0].policy != results[1].policy  # bsp vs tasking
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    runner = _runner(tmp_path)
+    first = runner.run_cells(CELLS)
+    assert all(not r["cached"] for r in runner.report)
+    again = _runner(tmp_path)
+    second = again.run_cells(CELLS)
+    assert all(r["cached"] for r in again.report)
+    assert second == first  # bit-exact across the disk round trip
+
+
+def test_disabled_cache_forces_cold_runs(tmp_path):
+    _runner(tmp_path).run_cells(CELLS)  # prime
+    cold = ExperimentRunner(cache=ResultCache(root=str(tmp_path),
+                                              enabled=False))
+    cold.run_cells(CELLS)
+    assert all(not r["cached"] for r in cold.report)
+
+
+def test_parallel_jobs_match_serial_results(tmp_path):
+    serial = ExperimentRunner(
+        cache=ResultCache(root=str(tmp_path / "a")), jobs=1)
+    parallel = ExperimentRunner(
+        cache=ResultCache(root=str(tmp_path / "b")), jobs=2)
+    rs = serial.run_cells(CELLS)
+    rp = parallel.run_cells(CELLS)
+    assert [r.to_dict() for r in rp] == [r.to_dict() for r in rs]
+    # The parallel run persisted its results too.
+    warm = ExperimentRunner(cache=ResultCache(root=str(tmp_path / "b")))
+    warm.run_cells(CELLS)
+    assert all(r["cached"] for r in warm.report)
+
+
+def test_progress_and_report(tmp_path):
+    lines = []
+    runner = _runner(tmp_path, progress=lines.append)
+    runner.run_cells(CELLS[:2])
+    assert len(lines) == 2
+    assert all("[run]" in line for line in lines)
+    report = runner.format_report()
+    assert "2 cached" not in report
+    assert "2 simulated" in report
+    runner2 = _runner(tmp_path, progress=lines.append)
+    runner2.run_cells(CELLS[:2])
+    assert any("[cache]" in line for line in lines)
+
+
+def test_jobs_env_default(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+    runner = _runner(tmp_path)
+    assert runner.jobs == 3
+
+
+def test_run_grid_shorthand(tmp_path):
+    runner = _runner(tmp_path)
+    results = runner.run_grid(machines=["broadwell"],
+                              matrices=["inline1"],
+                              solvers=["lanczos"],
+                              versions=["deepsparse"],
+                              block_counts=[16], iterations=1)
+    assert len(results) == 1
+    assert results[0].machine == "broadwell"
+
+
+# ----------------------------------------------------------------------
+# sweep integration
+# ----------------------------------------------------------------------
+def test_sweep_block_counts_routes_through_runner(tmp_path):
+    from repro.tuning import sweep_block_counts
+
+    runner = _runner(tmp_path)
+    buckets = [(8, 15), (16, 31)]
+    times = sweep_block_counts("broadwell", "inline1", "lanczos",
+                               "deepsparse", iterations=1,
+                               buckets=buckets, runner=runner)
+    assert sorted(times) == sorted(buckets)
+    assert all(t > 0 for t in times.values())
+    # Sweep cells landed in the cache: a re-sweep is all hits.
+    rerun = _runner(tmp_path)
+    times2 = sweep_block_counts("broadwell", "inline1", "lanczos",
+                                "deepsparse", iterations=1,
+                                buckets=buckets, runner=rerun)
+    assert times2 == pytest.approx(times)
+    assert all(r["cached"] for r in rerun.report)
