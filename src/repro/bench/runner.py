@@ -126,6 +126,8 @@ class ExperimentRunner:
     jobs:
         Worker processes for cache misses.  ``1`` (default, or
         ``$REPRO_BENCH_JOBS``) runs inline — no pool, no pickling.
+        ``0`` auto-detects: one worker per available CPU
+        (``os.cpu_count()``).
     progress:
         Optional callable invoked with one line per completed cell.
     """
@@ -136,7 +138,10 @@ class ExperimentRunner:
         self.cache = cache if cache is not None else default_cache()
         if jobs is None:
             jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
-        self.jobs = max(1, int(jobs))
+        jobs = int(jobs)
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = max(1, jobs)
         self.progress = progress
         self.report: List[dict] = []
 

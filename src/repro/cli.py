@@ -69,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default="lobpcg")
     s.add_argument("--jobs", type=int, default=None,
                    help="worker processes for sweep cells "
-                        "(default: $REPRO_BENCH_JOBS or 1)")
+                        "(default: $REPRO_BENCH_JOBS or 1; "
+                        "0 = auto-detect one per CPU)")
 
     s = sub.add_parser(
         "bench",
@@ -94,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--iterations", type=int, default=2)
     s.add_argument("--jobs", type=int, default=None,
                    help="worker processes for cache misses "
-                        "(default: $REPRO_BENCH_JOBS or 1)")
+                        "(default: $REPRO_BENCH_JOBS or 1; "
+                        "0 = auto-detect one per CPU)")
     s.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk result cache (force cold "
                         "simulation, persist nothing)")

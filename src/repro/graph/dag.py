@@ -31,6 +31,39 @@ class TaskDAG:
         self.succ: List[List[int]] = []
         self.pred: List[List[int]] = []
         self._edge_set = set()
+        self._handle_intern = None
+
+    # ------------------------------------------------------------------
+    def handle_interning(self):
+        """Intern every operand handle key to a dense small int.
+
+        Returns ``(key_to_id, id_to_key)`` where ``key_to_id`` maps
+        ``(name, part)`` tuples to ids assigned in first-appearance
+        order over tasks (tid order) and their ``reads + writes``
+        handles, and ``id_to_key`` is the inverse list.  The numbering
+        is a pure function of the DAG, so every engine/cost-model/
+        memory-model instance that executes this DAG agrees on the ids
+        — which is what lets the cost model stash int-keyed pricing
+        invariants on the DAG and share them across runs.
+
+        Int keys hash ~2x faster than ``(str, int)`` tuples, and they
+        are what the innermost structures (LRU dicts, sharer maps,
+        NUMA memos) key on during simulation.  The memo is invalidated
+        if tasks were appended after interning.
+        """
+        memo = self._handle_intern
+        if memo is not None and memo[2] == len(self.tasks):
+            return memo[0], memo[1]
+        key_to_id = {}
+        id_to_key = []
+        for t in self.tasks:
+            for h in t.reads + t.writes:
+                k = (h.name, h.part)
+                if k not in key_to_id:
+                    key_to_id[k] = len(id_to_key)
+                    id_to_key.append(k)
+        self._handle_intern = (key_to_id, id_to_key, len(self.tasks))
+        return key_to_id, id_to_key
 
     # ------------------------------------------------------------------
     def add_task(self, task: Task) -> int:

@@ -137,9 +137,12 @@ class CacheHierarchy:
         if nbytes <= 0:
             return (0, 0, 0)
         g = self._group_of[core]
+        sharer_map = self._sharers
+        l3_sharer_map = self._l3_sharers
         # -- L1 (private) ---------------------------------------------
         level = self.l1[core]
         entries = level._entries
+        l2_entries = self.l2[core]._entries
         resident = entries.pop(key, 0)
         m1 = nbytes - resident if resident < nbytes else 0
         capacity = level.capacity
@@ -147,13 +150,26 @@ class CacheHierarchy:
         used = level.used + new_resident - resident
         entries[key] = new_resident
         while used > capacity and entries:
-            used -= entries.pop(next(iter(entries)))
+            k = next(iter(entries))
+            used -= entries.pop(k)
+            if k not in l2_entries:
+                # Evicted from every private level of this core: prune
+                # the stale sharer so the invalidation sweep and the
+                # sharer maps stay bounded by actual residency.
+                # Bit-exact: invalidating a non-holder is a no-op, so
+                # membership of non-holders never affected state.
+                s = sharer_map.get(k)
+                if s is not None:
+                    s.discard(core)
+                    if not s:
+                        del sharer_map[k]
         level.used = used
         m2 = m3 = 0
         if m1:
             # -- L2 (private) -----------------------------------------
             level = self.l2[core]
-            entries = level._entries
+            entries = l2_entries
+            l1_entries = self.l1[core]._entries
             resident = entries.pop(key, 0)
             m2 = m1 - resident if resident < m1 else 0
             capacity = level.capacity
@@ -161,7 +177,14 @@ class CacheHierarchy:
             used = level.used + new_resident - resident
             entries[key] = new_resident
             while used > capacity and entries:
-                used -= entries.pop(next(iter(entries)))
+                k = next(iter(entries))
+                used -= entries.pop(k)
+                if k not in l1_entries:
+                    s = sharer_map.get(k)
+                    if s is not None:
+                        s.discard(core)
+                        if not s:
+                            del sharer_map[k]
             level.used = used
             if m2:
                 # -- L3 (shared per group) ----------------------------
@@ -174,23 +197,34 @@ class CacheHierarchy:
                 used = level.used + new_resident - resident
                 entries[key] = new_resident
                 while used > capacity and entries:
-                    used -= entries.pop(next(iter(entries)))
+                    k = next(iter(entries))
+                    used -= entries.pop(k)
+                    s = l3_sharer_map.get(k)
+                    if s is not None:
+                        s.discard(g)
+                        if not s:
+                            del l3_sharer_map[k]
                 level.used = used
-        sharers = self._sharers.get(key)
+        # Sharer maps are maintained independently (pruning may have
+        # emptied one but not the other for this key).
+        sharers = sharer_map.get(key)
         if sharers is None:
-            # Fresh singleton sharer sets: a write cannot have anyone
-            # else to invalidate, so the sweep is skipped outright.
-            self._sharers[key] = {core}
-            self._l3_sharers[key] = {g}
+            sharer_map[key] = {core}
+            n_sharers = 1
         else:
             sharers.add(core)
-            l3s = self._l3_sharers[key]
+            n_sharers = len(sharers)
+        l3s = l3_sharer_map.get(key)
+        if l3s is None:
+            l3_sharer_map[key] = {g}
+            n_l3s = 1
+        else:
             l3s.add(g)
-            # Common case after the add: we are the only sharer at
-            # both levels — _invalidate_others would no-op, so don't
-            # pay the call.
-            if write and (len(sharers) > 1 or len(l3s) > 1):
-                self._invalidate_others(core, g, key)
+            n_l3s = len(l3s)
+        # Common case: we are the only sharer at both levels —
+        # _invalidate_others would no-op, so don't pay the call.
+        if write and (n_sharers > 1 or n_l3s > 1):
+            self._invalidate_others(core, g, key)
         # ceil-divide missed bytes into 64-byte lines ((0+63)//64 == 0).
         return (
             (m1 + 63) // CACHE_LINE,

@@ -35,6 +35,7 @@ class MemoryModel:
         "machine", "first_touch", "scattered", "_n_parts",
         "matrix_geometry", "_placement", "_core_domain", "_domain_memo",
         "_local_cost", "_remote_cost", "_scattered_cost",
+        "_intern_keys", "_intern_parts",
     )
 
     def __init__(self, machine: MachineSpec, first_touch: bool = True,
@@ -54,6 +55,11 @@ class MemoryModel:
         self._placement = {}
         # -- hot-path precomputation (pure caching, no semantics) ------
         self._domain_memo = {}
+        # Interned handle keys (see TaskDAG.handle_interning): parallel
+        # lists resolving a small int key back to its (name, part)
+        # tuple and to its ``part`` alone (the scattered-cost test).
+        self._intern_keys = None
+        self._intern_parts = None
         self._core_domain = tuple(
             machine.domain_of_core(c) for c in range(machine.n_cores)
         )
@@ -93,6 +99,23 @@ class MemoryModel:
         nbc = getattr(dag, "matrix_nbc", None)
         if name and nbc:
             self.matrix_geometry = (name, nbc)
+        interning = getattr(dag, "handle_interning", None)
+        if interning is not None:
+            self.adopt_interning(interning()[1])
+        self._domain_memo.clear()
+
+    def adopt_interning(self, id_to_key) -> None:
+        """Adopt a DAG's handle interning so int keys resolve here.
+
+        Placement semantics are unchanged: an int key prices exactly
+        as the ``(name, part)`` tuple it interns would.  Switching to
+        a different table invalidates the memo (old int keys would
+        otherwise alias new handles).
+        """
+        if self._intern_keys is id_to_key:
+            return
+        self._intern_keys = id_to_key
+        self._intern_parts = [k[1] for k in id_to_key]
         self._domain_memo.clear()
 
     # ------------------------------------------------------------------
@@ -108,11 +131,11 @@ class MemoryModel:
         dom = memo.get(key)
         if dom is not None:
             return dom
-        override = self._placement.get(key)
+        name, part = self._intern_keys[key] if type(key) is int else key
+        override = self._placement.get((name, part))
         if override is not None:
             memo[key] = override
             return override
-        name, part = key
         if not self.first_touch or part is None:
             memo[key] = 0
             return 0
@@ -131,7 +154,9 @@ class MemoryModel:
         if not 0 <= domain < self.machine.n_numa_domains:
             raise ValueError(f"domain {domain} out of range")
         self._placement[key] = domain
-        self._domain_memo[key] = domain
+        # Int-keyed memo entries for this handle would go stale, so
+        # drop the whole memo (placement pins happen before runs).
+        self._domain_memo.clear()
 
     def is_remote(self, core: int, key: tuple) -> bool:
         return self._core_domain[core] != self.domain_of(key)
@@ -148,8 +173,11 @@ class MemoryModel:
         mild on Broadwell (D=2).
         """
         if key is not None:
-            if self.scattered and key[1] is not None:
-                return self._scattered_cost
+            if self.scattered:
+                part = (self._intern_parts[key] if type(key) is int
+                        else key[1])
+                if part is not None:
+                    return self._scattered_cost
             dom = self._domain_memo.get(key)
             if dom is None:
                 dom = self.domain_of(key)

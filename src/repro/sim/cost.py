@@ -201,7 +201,7 @@ class CostModel:
     # ``charge`` call.  The arithmetic is kept term-for-term identical
     # to the historical per-call formulation — the equivalence test
     # asserts bit-identical simulated numbers.
-    def _task_info(self, task: Task) -> tuple:
+    def _task_info(self, task: Task, key_of=None) -> tuple:
         """(compute_seconds, operand touches, gather bundle) of a task.
 
         ``touches`` is a tuple of ``(key, nbytes, is_write)`` in
@@ -210,18 +210,36 @@ class CostModel:
         ``(g1, g2, g3, fixed_time, scattered, xkey)`` where
         ``fixed_time`` is the L2/L3 leg of the gather cost and only the
         DRAM leg (NUMA-aware, core-dependent) is priced per call.
+
+        ``key_of`` is the DAG's handle-interning map (see
+        :meth:`repro.graph.dag.TaskDAG.handle_interning`): when given,
+        handle keys are emitted as small ints instead of
+        ``(name, part)`` tuples, which is what the LRU dicts, sharer
+        maps, and NUMA memos hash on in the innermost loop.  Interning
+        is a pure key-space change — hit/miss amounts, eviction order,
+        and NUMA domains are identical either way.
         """
         compute = self.compute_seconds(task)
         write_keys = {(h.name, h.part) for h in task.writes}
         touched_bytes = self._effective_bytes(task)
-        touches = tuple(
-            (
-                (h.name, h.part),
-                touched_bytes.get(h.name, h.nbytes),
-                (h.name, h.part) in write_keys,
+        if key_of is None:
+            touches = tuple(
+                (
+                    (h.name, h.part),
+                    touched_bytes.get(h.name, h.nbytes),
+                    (h.name, h.part) in write_keys,
+                )
+                for h in task.touched()
             )
-            for h in task.touched()
-        )
+        else:
+            touches = tuple(
+                (
+                    key_of[(h.name, h.part)],
+                    touched_bytes.get(h.name, h.nbytes),
+                    (h.name, h.part) in write_keys,
+                )
+                for h in task.touched()
+            )
         gather = None
         span = task.shape.get("gather_span", 0)
         if span > 0:
@@ -245,6 +263,8 @@ class CostModel:
                         if h.part is not None and \
                                 h.name != task.params.get("A"):
                             xkey = (h.name, h.part)
+                            if key_of is not None:
+                                xkey = key_of[xkey]
                             break
                 fixed = (g1 - g2) * self._l2c + (g2 - g3) * self._l3c
                 gather = (g1, g2, g3, fixed, scattered, xkey)
@@ -265,6 +285,14 @@ class CostModel:
         """
         tasks = dag.tasks
         self._prep_tasks = tasks
+        # Handle-key interning: the DAG numbers its operand handles
+        # once; prepared touches/gathers below carry those int keys, so
+        # every structure hashed in the hot loop hashes small ints.
+        key_of = None
+        interning = getattr(dag, "handle_interning", None)
+        if interning is not None:
+            key_of, id_to_key = interning()
+            self.memory.adopt_interning(id_to_key)
         key = (self.machine, self.gather_intensity)
         store = getattr(dag, "_cost_prep", None)
         if store is None:
@@ -272,11 +300,11 @@ class CostModel:
             try:
                 dag._cost_prep = store
             except AttributeError:  # slotted/foreign DAG type
-                self._prep = [self._task_info(t) for t in tasks]
+                self._prep = [self._task_info(t, key_of) for t in tasks]
                 return
         prep = store.get(key)
         if prep is None or len(prep) != len(tasks):
-            prep = [self._task_info(t) for t in tasks]
+            prep = [self._task_info(t, key_of) for t in tasks]
             store[key] = prep
         self._prep = prep
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -34,6 +35,33 @@ __all__ = ["RunResult", "RunResultSummary", "SimulationEngine", "run_bsp"]
 _EPS = 1e-15
 
 
+def _steady_state_enabled() -> bool:
+    """Default for the steady-state fast path: on unless the
+    ``REPRO_NO_STEADY_STATE`` environment kill-switch is set."""
+    return not os.environ.get("REPRO_NO_STEADY_STATE")
+
+
+def _machine_state_fingerprint(cache: CacheHierarchy,
+                               memory: MemoryModel) -> tuple:
+    """Hashable snapshot of every piece of mutable machine state.
+
+    Taken at iteration barriers by the steady-state detector: per-level
+    LRU contents *in LRU order* (eviction order is state), the
+    coherence sharer maps, and any explicit NUMA placement pins.  The
+    memoization dicts (``MemoryModel._domain_memo`` etc.) are excluded
+    on purpose — they are pure caches that cannot change simulated
+    values.
+    """
+    return (
+        tuple(tuple(c._entries.items()) for c in cache.l1),
+        tuple(tuple(c._entries.items()) for c in cache.l2),
+        tuple(tuple(c._entries.items()) for c in cache.l3),
+        tuple((k, tuple(sorted(v))) for k, v in cache._sharers.items()),
+        tuple((k, tuple(sorted(v))) for k, v in cache._l3_sharers.items()),
+        tuple(memory._placement.items()),
+    )
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated solver run."""
@@ -46,6 +74,11 @@ class RunResult:
     flow: FlowGraph
     n_cores: int
     n_tasks_per_iteration: int
+    #: 0-based index of the first iteration produced by the
+    #: steady-state tape replay instead of full simulation; ``None``
+    #: when every iteration was simulated (fast path disabled, never
+    #: detected, or the run is too short to arm it).
+    steady_state_at: Optional[int] = None
 
     @property
     def time_per_iteration(self) -> float:
@@ -67,6 +100,7 @@ class RunResult:
             flow=self.flow.summary(),
             n_cores=self.n_cores,
             n_tasks_per_iteration=self.n_tasks_per_iteration,
+            steady_state_at=self.steady_state_at,
         )
 
 
@@ -89,6 +123,10 @@ class RunResultSummary:
     flow: FlowSummary
     n_cores: int
     n_tasks_per_iteration: int
+    #: See :attr:`RunResult.steady_state_at`.  Optional with a ``None``
+    #: default so summaries serialized before the fast path existed
+    #: (older on-disk result caches) still deserialize.
+    steady_state_at: Optional[int] = None
 
     @property
     def time_per_iteration(self) -> float:
@@ -111,10 +149,12 @@ class RunResultSummary:
             "flow": self.flow.to_dict(),
             "n_cores": self.n_cores,
             "n_tasks_per_iteration": self.n_tasks_per_iteration,
+            "steady_state_at": self.steady_state_at,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResultSummary":
+        ss = d.get("steady_state_at")
         return cls(
             machine=str(d["machine"]),
             policy=str(d["policy"]),
@@ -124,6 +164,7 @@ class RunResultSummary:
             flow=FlowSummary.from_dict(d.get("flow", {})),
             n_cores=int(d["n_cores"]),
             n_tasks_per_iteration=int(d["n_tasks_per_iteration"]),
+            steady_state_at=None if ss is None else int(ss),
         )
 
 
@@ -170,8 +211,27 @@ class SimulationEngine:
         iterations: int = 1,
         barrier_cost: Optional[float] = None,
         record_flow: bool = True,
+        steady_state: Optional[bool] = None,
     ) -> RunResult:
-        """Execute ``iterations`` barriered repetitions of the DAG."""
+        """Execute ``iterations`` barriered repetitions of the DAG.
+
+        ``steady_state`` arms the iteration fast path (default: on,
+        unless ``REPRO_NO_STEADY_STATE`` is set).  Iterative solvers
+        replay the same DAG against machine state that converges to a
+        fixed point after a warm-up iteration or two; once the detector
+        sees two consecutive iterations leave *identical* machine and
+        scheduler state behind (:func:`_machine_state_fingerprint`,
+        :meth:`Scheduler.state_fingerprint`) and produce *identical*
+        value tapes, every remaining iteration is produced by replaying
+        the tape — re-executing exactly the float operations the full
+        simulation would execute, anchored at each iteration's start
+        time — so results are bit-identical to the plain loop while
+        skipping the cache simulation and scheduling logic entirely.
+        Schedulers opt out by returning ``None`` from
+        ``state_fingerprint`` (unknown subclasses) or by fingerprinting
+        state that never repeats (HPX's RNG), in which case every
+        iteration is simulated in full.
+        """
         if barrier_cost is None:
             barrier_cost = _default_barrier_cost(self.machine.n_cores)
         self.memory.configure_from_dag(dag)
@@ -183,14 +243,58 @@ class SimulationEngine:
         # record_flow=False must actually skip recording, not record
         # every task and throw the trace away afterwards.
         flow = FlowGraph() if record_flow else None
+        if steady_state is None:
+            steady_state = _steady_state_enabled()
+        # Detection needs two comparable warm iterations after the cold
+        # one, so runs shorter than 4 iterations take the plain loop.
+        armed = bool(steady_state) and iterations >= 4
         clock = 0.0
-        iteration_times = []
-        for it in range(iterations):
+        iteration_times: List[float] = []
+        steady_state_at = None
+        prev_fp = None
+        prev_tape = None
+        it = 0
+        while it < iterations:
             t0 = clock
             scheduler.reset_iteration(it, t0)
-            clock = self._run_iteration(dag, scheduler, counters, flow, it, t0)
-            clock += barrier_cost
+            if not armed:
+                clock = self._run_iteration(
+                    dag, scheduler, counters, flow, it, t0
+                )
+                clock += barrier_cost
+                iteration_times.append(clock - t0)
+                it += 1
+                continue
+            end, tape = self._run_iteration_taped(
+                dag, scheduler, counters, flow, it, t0
+            )
+            clock = end + barrier_cost
             iteration_times.append(clock - t0)
+            it += 1
+            sched_fp = scheduler.state_fingerprint()
+            if sched_fp is None:
+                # Scheduler opted out: stop taping, plain loop onward.
+                armed = False
+                continue
+            fp = (sched_fp,
+                  _machine_state_fingerprint(self.cache, self.memory))
+            if prev_fp is not None and fp == prev_fp and tape == prev_tape:
+                # Two consecutive iterations started from the same
+                # state, behaved identically, and returned to that
+                # state: by induction every remaining iteration repeats
+                # the tape.  Replay it (falls back to full simulation
+                # if the sanity guard ever trips).
+                first = it
+                it, clock = self._replay_iterations(
+                    dag, scheduler, tape, counters, flow,
+                    it, iterations, clock, barrier_cost, iteration_times,
+                )
+                if it > first:
+                    steady_state_at = first
+                armed = False
+                continue
+            prev_fp = fp
+            prev_tape = tape
         return RunResult(
             machine=self.machine.name,
             policy=scheduler.name,
@@ -200,6 +304,7 @@ class SimulationEngine:
             flow=flow if record_flow else FlowGraph(),
             n_cores=self.machine.n_cores,
             n_tasks_per_iteration=len(dag),
+            steady_state_at=steady_state_at,
         )
 
     # ------------------------------------------------------------------
@@ -325,6 +430,259 @@ class SimulationEngine:
         counters.l3_misses = l3m
         return time
 
+    # ------------------------------------------------------------------
+    def _run_iteration_taped(self, dag, scheduler, counters, flow, it, t0):
+        """:meth:`_run_iteration` plus a *value tape* of the iteration.
+
+        Every timestamp the event loop produces is a node of a small
+        value graph anchored at ``t0`` (node 0); the tape records, in
+        creation order, how each node is computed:
+
+        * ``(0, tid)`` — initial release: ``release_time(tid, t0)``;
+        * ``(1, tid, j)`` — dependence-satisfied release, clamped to
+          the enabling event: ``max(release_time(tid, t0), vals[j])``;
+        * ``(2, j, dur, tid, core, overhead, compute, memory_t,
+          m1, m2, m3)`` — task assignment at time node ``j``, finishing
+          at ``vals[j] + dur``, with the full charge decomposition for
+          counter/flow replay.
+
+        Heap entries gain the node id as a trailing element; tuple
+        ordering is untouched because ``(time, tid)`` / ``(time,
+        core)`` are already unique within their heaps.  Returns
+        ``(end_time, (ops, end_node))``.  The simulated numbers are
+        bit-identical to :meth:`_run_iteration` — taping only appends
+        bookkeeping, it never changes an arithmetic operation.
+        """
+        n = len(dag)
+        if n == 0:
+            return t0, ([], 0)
+        indeg = dag.in_degrees()
+        ops: list = []
+        tape_op = ops.append
+        nv = 1  # node 0 is t0; each op appends exactly one value node
+        release_heap = []
+        for tid, d in enumerate(indeg):
+            if d == 0:
+                tape_op((0, tid))
+                heapq.heappush(
+                    release_heap,
+                    (scheduler.release_time(tid, t0), tid, -1, nv),
+                )
+                nv += 1
+        finish_heap = []  # (time, core, tid, node)
+        n_cores = self.machine.n_cores
+        idle = bytearray([1]) * n_cores
+        n_idle = n_cores
+        completed = 0
+        time = t0
+        time_node = 0
+        tasks = dag.tasks
+        succ = dag.succ
+        charge = self.cost.charge
+        pick = scheduler.pick
+        overhead_of = scheduler.overhead
+        has_ready = scheduler.has_ready
+        release_time = scheduler.release_time
+        record_flow = flow.record if flow is not None else None
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        n_exec = counters.tasks_executed
+        busy_t = counters.busy_time
+        ovh_t = counters.overhead_time
+        comp_t = counters.compute_time
+        mem_t = counters.memory_time
+        l1m = counters.l1_misses
+        l2m = counters.l2_misses
+        l3m = counters.l3_misses
+        ktime = counters.kernel_time
+        ktasks = counters.kernel_tasks
+        ktime_get = ktime.get
+        ktasks_get = ktasks.get
+        while completed < n:
+            while release_heap and release_heap[0][0] <= time + _EPS:
+                _, tid, enabler, _node = heappop(release_heap)
+                scheduler.on_ready(tid, time,
+                                   enabler if enabler >= 0 else None)
+            assigned = False
+            if n_idle and has_ready():
+                for core in range(n_cores):
+                    if not idle[core]:
+                        continue
+                    tid = pick(core, time)
+                    if tid is None:
+                        continue
+                    task = tasks[tid]
+                    overhead = overhead_of(tid)
+                    dur, compute, memory_t, (m1, m2, m3) = charge(task, core)
+                    dur += overhead
+                    tape_op((2, time_node, dur, tid, core, overhead,
+                             compute, memory_t, m1, m2, m3))
+                    heappush(finish_heap, (time + dur, core, tid, nv))
+                    nv += 1
+                    kernel = task.kernel
+                    n_exec += 1
+                    busy_t += dur
+                    ovh_t += overhead
+                    comp_t += compute
+                    mem_t += memory_t
+                    l1m += m1
+                    l2m += m2
+                    l3m += m3
+                    ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                    ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                    if record_flow is not None:
+                        record_flow(tid, kernel, core, time,
+                                    time + dur, it)
+                    idle[core] = 0
+                    n_idle -= 1
+                    assigned = True
+                    if not has_ready():
+                        break
+            if assigned:
+                continue
+            if finish_heap:
+                head = finish_heap[0]
+                time = head[0]
+                time_node = head[3]
+                if n_idle and release_heap and release_heap[0][0] < time:
+                    head = release_heap[0]
+                    time = head[0]
+                    time_node = head[3]
+            elif n_idle and release_heap:
+                head = release_heap[0]
+                time = head[0]
+                time_node = head[3]
+            else:
+                raise RuntimeError(
+                    "simulation deadlock: tasks remain but no events pending"
+                )
+            while finish_heap and finish_heap[0][0] <= time + _EPS:
+                _, core, tid, _node = heappop(finish_heap)
+                idle[core] = 1
+                n_idle += 1
+                completed += 1
+                scheduler.on_complete(tid, core)
+                for v in succ[tid]:
+                    indeg[v] -= 1
+                    if indeg[v] == 0:
+                        rt = release_time(v, t0)
+                        if rt < time:
+                            rt = time
+                        tape_op((1, v, time_node))
+                        heappush(release_heap, (rt, v, core, nv))
+                        nv += 1
+        counters.tasks_executed = n_exec
+        counters.busy_time = busy_t
+        counters.overhead_time = ovh_t
+        counters.compute_time = comp_t
+        counters.memory_time = mem_t
+        counters.l1_misses = l1m
+        counters.l2_misses = l2m
+        counters.l3_misses = l3m
+        return time, (ops, time_node)
+
+    # ------------------------------------------------------------------
+    def _replay_iterations(
+        self, dag, scheduler, tape, counters, flow,
+        it, iterations, clock, barrier_cost, iteration_times,
+    ):
+        """Produce iterations ``it..iterations-1`` by replaying ``tape``.
+
+        Re-executes, per iteration, exactly the float operations the
+        full simulation would execute — one ``release_time`` call or
+        max/add per value node, the same counter additions in the same
+        order — anchored at that iteration's start time, so the results
+        (clock, iteration times, counters, flow records) are
+        bit-identical to continuing the simulation.
+
+        A cheap sanity guard re-checks what the tape's structure
+        implies: assignment start times must be non-decreasing in tape
+        order and the iteration end must not precede the last start.
+        A violation would mean the event order depended on the absolute
+        anchor (sub-femtosecond effects the detector cannot certify
+        against); the iteration is then *not* committed and the caller
+        falls back to full simulation from it.  Returns
+        ``(next_iteration, clock)``.
+        """
+        ops, end_node = tape
+        # kind-2 ops with the ids of the value nodes they created
+        # (node id of op i is i + 1).
+        assign_ops = [(i + 1, op) for i, op in enumerate(ops)
+                      if op[0] == 2]
+        tasks = dag.tasks
+        release_time = scheduler.release_time
+        record_flow = flow.record if flow is not None else None
+        eps = _EPS
+        n_exec = counters.tasks_executed
+        busy_t = counters.busy_time
+        ovh_t = counters.overhead_time
+        comp_t = counters.compute_time
+        mem_t = counters.memory_time
+        l1m = counters.l1_misses
+        l2m = counters.l2_misses
+        l3m = counters.l3_misses
+        ktime = counters.kernel_time
+        ktasks = counters.kernel_tasks
+        ktime_get = ktime.get
+        ktasks_get = ktasks.get
+        while it < iterations:
+            t0 = clock
+            scheduler.reset_iteration(it, t0)
+            # -- pass 1: evaluate the value graph at this anchor ------
+            vals = [t0]
+            append = vals.append
+            ok = True
+            prev_start = t0
+            for op in ops:
+                kind = op[0]
+                if kind == 2:
+                    start = vals[op[1]]
+                    if start + eps < prev_start:
+                        ok = False
+                        break
+                    prev_start = start
+                    append(start + op[2])
+                elif kind == 1:
+                    rt = release_time(op[1], t0)
+                    tv = vals[op[2]]
+                    append(tv if rt < tv else rt)
+                else:
+                    append(release_time(op[1], t0))
+            if ok and vals[end_node] + eps < prev_start:
+                ok = False
+            if not ok:
+                break  # uncommitted; caller resumes full simulation
+            # -- pass 2: commit counters, flow, and the clock ---------
+            for node, op in assign_ops:
+                dur = op[2]
+                tid = op[3]
+                kernel = tasks[tid].kernel
+                n_exec += 1
+                busy_t += dur
+                ovh_t += op[5]
+                comp_t += op[6]
+                mem_t += op[7]
+                l1m += op[8]
+                l2m += op[9]
+                l3m += op[10]
+                ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                if record_flow is not None:
+                    record_flow(tid, kernel, op[4], vals[op[1]],
+                                vals[node], it)
+            clock = vals[end_node] + barrier_cost
+            iteration_times.append(clock - t0)
+            it += 1
+        counters.tasks_executed = n_exec
+        counters.busy_time = busy_t
+        counters.overhead_time = ovh_t
+        counters.compute_time = comp_t
+        counters.memory_time = mem_t
+        counters.l1_misses = l1m
+        counters.l2_misses = l2m
+        counters.l3_misses = l3m
+        return it, clock
+
 
 # ----------------------------------------------------------------------
 def run_bsp(
@@ -337,6 +695,7 @@ def run_bsp(
     loop_overhead: float = 0.05e-6,
     record_flow: bool = True,
     nnz_balanced: bool = False,
+    steady_state: Optional[bool] = None,
 ) -> RunResult:
     """Phase-parallel (fork-join) execution of the same DAG.
 
@@ -345,6 +704,15 @@ def run_bsp(
     are statically chunked over cores (MKL/OpenMP static schedule), a
     barrier closes the phase.  Dependence edges are honoured by
     construction because phases execute in program order.
+
+    ``steady_state`` arms the same iteration fast path as
+    :meth:`SimulationEngine.run`: once two consecutive iterations leave
+    identical cache/NUMA state behind and produce identical per-task
+    charge tapes, the remaining iterations re-run the (cheap) clock
+    arithmetic against the taped charges instead of re-simulating the
+    cache — the schedule here is static, so the replay *is* the full
+    per-iteration computation minus the ``charge`` calls, and results
+    are bit-identical by construction.
     """
     if barrier_cost is None:
         barrier_cost = _default_barrier_cost(machine.n_cores)
@@ -438,10 +806,19 @@ def run_bsp(
     ktasks = counters.kernel_tasks
     ktime_get = ktime.get
     ktasks_get = ktasks.get
+    if steady_state is None:
+        steady_state = _steady_state_enabled()
+    armed = bool(steady_state) and iterations >= 4
+    steady_state_at = None
+    prev_fp = None
+    prev_charges = None
     clock = 0.0
     iteration_times = []
-    for it in range(iterations):
+    it = 0
+    while it < iterations:
         t0 = clock
+        charges = [] if armed else None
+        tape_charge = charges.append if armed else None
         for assignment in phase_assignments:
             core_clock = [clock] * n_cores
             phase_end: dict = {}
@@ -449,6 +826,8 @@ def run_bsp(
                 task = tasks[tid]
                 dur, compute, memory_t, (m1, m2, m3) = charge(task, core)
                 dur += loop_overhead
+                if tape_charge is not None:
+                    tape_charge((dur, compute, memory_t, m1, m2, m3))
                 # Intra-phase dependences (row chains stay on one core;
                 # reduce tasks read partials from other cores) delay
                 # the start beyond the core's own availability.
@@ -475,6 +854,53 @@ def run_bsp(
                     frecord(tid, kernel, core, start, end, it)
             clock = max(core_clock) + barrier_cost
         iteration_times.append(clock - t0)
+        it += 1
+        if not armed:
+            continue
+        fp = _machine_state_fingerprint(cache, memory)
+        if prev_fp is not None and fp == prev_fp and charges == prev_charges:
+            # Cache/NUMA state is at a fixed point and the last two
+            # iterations charged identically: every remaining charge()
+            # would return the taped values.  Replay the clock/counter
+            # arithmetic (identical float ops, so bit-identical) with
+            # the expensive cache simulation elided.
+            steady_state_at = it
+            while it < iterations:
+                t0 = clock
+                ci = 0
+                for assignment in phase_assignments:
+                    core_clock = [clock] * n_cores
+                    phase_end = {}
+                    for tid, core in assignment:
+                        dur, compute, memory_t, m1, m2, m3 = charges[ci]
+                        ci += 1
+                        start = core_clock[core]
+                        for p in pred[tid]:
+                            e = phase_end.get(p)
+                            if e is not None and e > start:
+                                start = e
+                        end = start + dur
+                        core_clock[core] = end
+                        phase_end[tid] = end
+                        kernel = tasks[tid].kernel
+                        n_exec += 1
+                        busy_t += dur
+                        ovh_t += loop_overhead
+                        comp_t += compute
+                        mem_t += memory_t
+                        l1m += m1
+                        l2m += m2
+                        l3m += m3
+                        ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                        ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                        if frecord is not None:
+                            frecord(tid, kernel, core, start, end, it)
+                    clock = max(core_clock) + barrier_cost
+                iteration_times.append(clock - t0)
+                it += 1
+            break
+        prev_fp = fp
+        prev_charges = charges
     counters.tasks_executed = n_exec
     counters.busy_time = busy_t
     counters.overhead_time = ovh_t
@@ -492,4 +918,5 @@ def run_bsp(
         flow=flow,
         n_cores=n_cores,
         n_tasks_per_iteration=len(dag),
+        steady_state_at=steady_state_at,
     )

@@ -79,6 +79,30 @@ class Scheduler:
     def reset_iteration(self, iteration: int, iter_start: float) -> None:
         """Called at each iteration boundary (barrier)."""
 
+    def state_fingerprint(self):
+        """Hashable snapshot of every piece of policy state that can
+        influence future scheduling decisions, or ``None`` to opt out
+        of the engine's steady-state fast path.
+
+        The engine compares fingerprints taken at consecutive
+        iteration barriers; equality (together with identical
+        per-iteration charge tapes) certifies that every remaining
+        iteration would replay the same schedule, so it stops
+        simulating and replays the tape instead
+        (:meth:`repro.sim.engine.SimulationEngine.run`).
+
+        The base implementation only knows about the base class's
+        FIFO queue, so it *refuses to guess* for subclasses: any
+        scheduler that adds mutable state must override this (as all
+        built-ins do) or it is conservatively excluded from the fast
+        path.  Stochastic policies include their RNG state — which
+        advances every iteration, so they simply never reach a
+        fingerprint fixed point and always simulate in full.
+        """
+        if type(self) is not Scheduler:
+            return None
+        return (tuple(self._queue),)
+
     # -- policy surface ---------------------------------------------------
     def overhead(self, tid: int) -> float:
         """Per-task runtime overhead charged on the executing core."""
@@ -137,6 +161,15 @@ class DeepSparseScheduler(Scheduler):
         self._deques: List[deque] = [deque() for _ in range(machine.n_cores)]
         self._shared = deque()
         self._n_ready = 0
+
+    def state_fingerprint(self):
+        # Deques + shared FIFO are the complete policy state (picks
+        # depend on nothing else); all empty at a barrier in practice.
+        return (
+            tuple(tuple(d) for d in self._deques),
+            tuple(self._shared),
+            self._n_ready,
+        )
 
     def release_time(self, tid: int, iter_start: float) -> float:
         # Master thread spawns tasks serially in program (tid) order.
@@ -221,6 +254,19 @@ class HPXScheduler(Scheduler):
     def on_ready(self, tid, time, enabler_core=None):
         self._queues[self._domain_of_task(tid)].append(tid)
         self._n_ready += 1
+
+    def state_fingerprint(self):
+        # Window picks draw from the RNG, so the generator state is
+        # scheduling state.  It advances every iteration — HPX never
+        # reaches a fingerprint fixed point, i.e. it always simulates
+        # every iteration in full (the honest outcome for a policy
+        # whose schedule genuinely differs between iterations).
+        rng_state = self.rng.bit_generator.state
+        return (
+            tuple(tuple(q) for q in self._queues),
+            self._n_ready,
+            repr(sorted(rng_state.items(), key=lambda kv: kv[0])),
+        )
 
     def pick(self, core, time):
         if self._n_ready == 0:
@@ -308,6 +354,16 @@ class RegentScheduler(Scheduler):
 
     def reset_iteration(self, iteration: int, iter_start: float) -> None:
         self._iteration = iteration
+
+    def state_fingerprint(self):
+        # ``_iteration`` only influences behaviour through the
+        # tracing-replay switch, so fingerprint the *switch*, not the
+        # counter (the counter always differs between iterations).
+        return (
+            bool(self.dynamic_tracing and self._iteration > 0),
+            tuple(tuple(q) for q in self._worker_q),
+            self._n_ready,
+        )
 
     def release_time(self, tid: int, iter_start: float) -> float:
         if self.dynamic_tracing and self._iteration > 0:

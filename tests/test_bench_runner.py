@@ -118,6 +118,19 @@ def test_jobs_env_default(monkeypatch, tmp_path):
     assert runner.jobs == 3
 
 
+def test_jobs_zero_autodetects_cpu_count(monkeypatch, tmp_path):
+    import os
+
+    runner = _runner(tmp_path, jobs=0)
+    assert runner.jobs == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+    runner = _runner(tmp_path)
+    assert runner.jobs == (os.cpu_count() or 1)
+    # Negative values keep clamping to serial, as before.
+    runner = _runner(tmp_path, jobs=-4)
+    assert runner.jobs == 1
+
+
 def test_run_grid_shorthand(tmp_path):
     runner = _runner(tmp_path)
     results = runner.run_grid(machines=["broadwell"],

@@ -131,6 +131,43 @@ def test_flush(bw):
     assert m1 == 10 and m3 == 10
 
 
+def test_sharer_maps_stay_bounded_by_residency(bw):
+    """Evicted handles must be pruned from the coherence sharer maps.
+
+    Streaming a long sequence of distinct handles through one core
+    historically grew ``_sharers`` monotonically (one entry per handle
+    ever touched); after pruning, a fully-evicted handle drops out, so
+    the map size is bounded by what the caches can actually hold.
+    (A small synthetic machine keeps the stream short.)
+    """
+    from repro.machine.topology import MachineSpec
+
+    tiny = MachineSpec(
+        name="tiny", n_cores=2, n_sockets=1, n_numa_domains=1,
+        l1_size=4 * CACHE_LINE, l2_size=16 * CACHE_LINE,
+        l3_size=64 * CACHE_LINE, l3_group_cores=2,
+        ghz=1.0, flops_per_cycle=1.0,
+        l2_line_cost=1e-9, l3_line_cost=3e-9, dram_line_cost=1e-8,
+        numa_penalty=1.5,
+    )
+    h = CacheHierarchy(tiny)
+    n = 4 * (tiny.l3_size // CACHE_LINE)  # far beyond total capacity
+    for i in range(n):
+        h.access(0, ("s", i), CACHE_LINE)
+    resident = sum(len(c) for c in h.l1) + sum(len(c) for c in h.l2) \
+        + sum(len(c) for c in h.l3)
+    assert len(h._sharers) + len(h._l3_sharers) <= 2 * resident
+    assert len(h._sharers) < n // 2
+    assert len(h._l3_sharers) < n // 2
+    # Pruning must not change coherence semantics: a still-resident
+    # handle written elsewhere is invalidated exactly as before.
+    h2 = CacheHierarchy(bw)
+    h2.access(0, ("hot", 0), 10 * CACHE_LINE)
+    h2.access(1, ("hot", 0), 10 * CACHE_LINE, write=True)
+    m1, _, _ = h2.access(0, ("hot", 0), 10 * CACHE_LINE)
+    assert m1 == 10
+
+
 # ----------------------------------------------------------------------
 def test_first_touch_contiguous_placement(ep):
     m = MemoryModel(ep, first_touch=True, n_parts=128)
