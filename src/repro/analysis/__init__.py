@@ -13,7 +13,7 @@ from repro.analysis.metrics import (
     normalized_miss_table,
 )
 from repro.analysis.tables import render_table, render_bars
-from repro.analysis.gantt import render_flow
+from repro.analysis.gantt import render_flow, render_gantt, render_trace
 
 __all__ = [
     "SolverComparison",
@@ -23,4 +23,6 @@ __all__ = [
     "render_table",
     "render_bars",
     "render_flow",
+    "render_gantt",
+    "render_trace",
 ]

@@ -93,12 +93,17 @@ def run_version(
     first_touch: bool = True,
     seed: int = 0,
     options=None,
+    tracer=None,
     **runtime_overrides,
 ):
     """Run one solver version and return its :class:`RunResult`.
 
     ``libcsr`` ignores ``block_count`` — its granularity is one row
     chunk per core, per the MKL/CSR baseline definition.
+
+    ``tracer`` (optional :class:`repro.trace.Tracer`) attaches the
+    observability layer to the execution; simulated numbers are
+    bit-identical with or without it.
     """
     machine = get_machine(machine_name)
     spec = SUITE[matrix]
@@ -114,7 +119,7 @@ def run_version(
     if options is not None:
         rt.options = options
     dag = _dag(matrix, bs, solver, width, rt.options)
-    return rt.execute(dag, iterations=iterations)
+    return rt.execute(dag, iterations=iterations, tracer=tracer)
 
 
 def run_cell(

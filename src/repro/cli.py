@@ -103,6 +103,44 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--profile", action="store_true",
                    help="print per-cell timing, cache statistics, and "
                         "the slowest cells")
+    s.add_argument("--trace", metavar="DIR", default=None,
+                   help="run every cell with the observability layer "
+                        "attached and write a Chrome trace + metrics "
+                        "CSV per cell into DIR (runs in-process and "
+                        "bypasses the result cache; simulated numbers "
+                        "are bit-identical to untraced runs)")
+
+    s = sub.add_parser(
+        "trace",
+        help="run one cell with structured tracing and write Chrome "
+             "trace-event JSON (chrome://tracing / Perfetto) plus a "
+             "per-iteration metrics table",
+    )
+    s.add_argument("--matrix", required=True)
+    s.add_argument("--solver", choices=["lanczos", "lobpcg"],
+                   default="lanczos")
+    s.add_argument("--version",
+                   choices=["libcsr", "libcsb", "deepsparse", "hpx",
+                            "regent"],
+                   default="deepsparse")
+    s.add_argument("--machine", choices=["broadwell", "epyc"],
+                   default="broadwell")
+    s.add_argument("--block-count", type=int, default=16)
+    s.add_argument("--iterations", type=int, default=4)
+    s.add_argument("--out", default="traces",
+                   help="output directory (default: ./traces)")
+    s.add_argument("--jsonl", action="store_true",
+                   help="also dump the raw event stream as JSON lines "
+                        "(one event per line; reloadable with "
+                        "repro.trace.read_jsonl)")
+    s.add_argument("--no-steady-state", action="store_true",
+                   help="disable the iteration fast path so every "
+                        "iteration is fully simulated (no synthesized "
+                        "replay events in the trace)")
+    s.add_argument("--width", type=int, default=90,
+                   help="Gantt text width")
+    s.add_argument("--max-cores", type=int, default=16,
+                   help="Gantt lanes to print")
     return p
 
 
@@ -191,6 +229,70 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _trace_cell_artifacts(out_dir, label, tracer, events=None):
+    """Write Chrome trace + metrics CSV for one traced cell."""
+    import os
+
+    from repro.trace import metrics_from_events, write_chrome_trace
+
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, f"{label}.trace.json")
+    write_chrome_trace(trace_path, tracer, events=events)
+    table = metrics_from_events(events if events is not None
+                                else tracer.events, meta=tracer.meta)
+    metrics_path = os.path.join(out_dir, f"{label}.metrics.csv")
+    with open(metrics_path, "w", encoding="utf-8") as f:
+        f.write(table.to_csv())
+    return trace_path, metrics_path, table
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from repro.analysis.experiment import run_version
+    from repro.analysis.gantt import render_trace
+    from repro.trace import Tracer, event_to_dict
+
+    if args.no_steady_state:
+        os.environ["REPRO_NO_STEADY_STATE"] = "1"
+    tracer = Tracer()
+    res = run_version(args.machine, args.matrix, args.solver,
+                      args.version, block_count=args.block_count,
+                      iterations=args.iterations, tracer=tracer)
+    label = (f"{args.machine}-{args.matrix}-{args.solver}-{args.version}"
+             f"-bc{args.block_count}-it{args.iterations}")
+    trace_path, metrics_path, _ = _trace_cell_artifacts(
+        args.out, label, tracer
+    )
+    print(render_trace(tracer, width=args.width,
+                       max_cores=args.max_cores))
+    # Self-check the trace against the engine's own counters: every
+    # executed task must appear, and per-task miss args must sum to
+    # the RunResult totals exactly.
+    tasks = [e for e in tracer.events if e.kind == "task"]
+    c = res.counters
+    ok = (len(tasks) == c.tasks_executed
+          and sum(t.l1 for t in tasks) == c.l1_misses
+          and sum(t.l2 for t in tasks) == c.l2_misses
+          and sum(t.l3 for t in tasks) == c.l3_misses)
+    print()
+    print(f"task events: {len(tasks)} "
+          f"({sum(1 for t in tasks if t.synthesized)} replay-synthesized"
+          f"{'' if res.steady_state_at is None else ', steady state at iteration ' + str(res.steady_state_at)})")
+    print(f"trace/counter consistency: {'OK' if ok else 'MISMATCH'}")
+    if args.jsonl:
+        events_path = os.path.join(args.out, f"{label}.events.jsonl")
+        with open(events_path, "w", encoding="utf-8") as f:
+            for ev in tracer.events:
+                f.write(json.dumps(event_to_dict(ev)) + "\n")
+        print(f"events:  {events_path}")
+    print(f"trace:   {trace_path}  (load in chrome://tracing or "
+          "https://ui.perfetto.dev)")
+    print(f"metrics: {metrics_path}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import (
         DEFAULT_MATRICES,
@@ -210,7 +312,26 @@ def _cmd_bench(args) -> int:
         block_counts=args.block_count,
         iterations=args.iterations,
     )
-    results = runner.run_cells(cells)
+    if args.trace:
+        # Traced grid: in-process, cache bypassed (a trace needs a live
+        # simulation), one Chrome trace + metrics CSV per cell.
+        from repro.analysis.experiment import run_version
+        from repro.trace import Tracer
+
+        results = []
+        for cell in cells:
+            tracer = Tracer()
+            res = run_version(cell.machine, cell.matrix, cell.solver,
+                              cell.version, block_count=cell.block_count,
+                              iterations=cell.iterations, tracer=tracer)
+            label = cell.label().replace("/", "-").replace("@", "-bc")
+            trace_path, _, _ = _trace_cell_artifacts(args.trace, label,
+                                                     tracer)
+            if args.profile:
+                print(f"traced {cell.label()} -> {trace_path}")
+            results.append(res)
+    else:
+        results = runner.run_cells(cells)
 
     # Results table: per (machine, matrix, solver) group, speedup over
     # the libcsr baseline when it is part of the grid.
@@ -241,6 +362,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "tune": _cmd_tune,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -104,10 +104,16 @@ class CacheHierarchy:
     """
 
     __slots__ = ("machine", "l1", "l2", "l3", "_group_of",
-                 "_sharers", "_l3_sharers")
+                 "_sharers", "_l3_sharers", "trace_hook")
 
     def __init__(self, machine: MachineSpec):
         self.machine = machine
+        #: Optional observability hook (``repro.trace``): when set, it
+        #: is called once per :meth:`access` with the missed-lines
+        #: tuple — the tracer's miss-burst sampler.  ``None`` (the
+        #: default) costs one pre-hoisted attribute check per access;
+        #: the hook only observes, it can never change simulated state.
+        self.trace_hook = None
         self.l1 = [LRUCache(machine.l1_size) for _ in range(machine.n_cores)]
         self.l2 = [LRUCache(machine.l2_size) for _ in range(machine.n_cores)]
         self.l3 = [LRUCache(machine.l3_size) for _ in range(machine.n_l3_groups)]
@@ -226,11 +232,15 @@ class CacheHierarchy:
         if write and (n_sharers > 1 or n_l3s > 1):
             self._invalidate_others(core, g, key)
         # ceil-divide missed bytes into 64-byte lines ((0+63)//64 == 0).
-        return (
+        lines = (
             (m1 + 63) // CACHE_LINE,
             (m2 + 63) // CACHE_LINE,
             (m3 + 63) // CACHE_LINE,
         )
+        hook = self.trace_hook
+        if hook is not None:
+            hook(lines)
+        return lines
 
     def _invalidate_others(self, core: int, group: int, key: tuple) -> None:
         sharers = self._sharers.get(key)
@@ -249,6 +259,31 @@ class CacheHierarchy:
                 if gg != group:
                     l3[gg].invalidate(key)
             l3s.intersection_update({group})
+
+    # ------------------------------------------------------------------
+    def occupancy_sample(self) -> Dict[str, Tuple[int, int]]:
+        """Aggregate ``(used, capacity)`` bytes per level, for sampling.
+
+        Summed over every unit of a level (all per-core L1s/L2s, all
+        L3 groups).  Pure read — the observability layer samples this
+        at iteration barriers; it never perturbs LRU state.
+        """
+        return {
+            "L1": (sum(c.used for c in self.l1),
+                   sum(c.capacity for c in self.l1)),
+            "L2": (sum(c.used for c in self.l2),
+                   sum(c.capacity for c in self.l2)),
+            "L3": (sum(c.used for c in self.l3),
+                   sum(c.capacity for c in self.l3)),
+        }
+
+    def occupancy_by_unit(self) -> Dict[str, Tuple[Tuple[int, int], ...]]:
+        """Per-unit ``(used, capacity)`` tuples per level (diagnostics)."""
+        return {
+            "L1": tuple((c.used, c.capacity) for c in self.l1),
+            "L2": tuple((c.used, c.capacity) for c in self.l2),
+            "L3": tuple((c.used, c.capacity) for c in self.l3),
+        }
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

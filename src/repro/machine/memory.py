@@ -161,6 +161,31 @@ class MemoryModel:
     def is_remote(self, core: int, key: tuple) -> bool:
         return self._core_domain[core] != self.domain_of(key)
 
+    def domain_histogram(self):
+        """Handles homed per NUMA domain, or ``None`` if unknowable.
+
+        The observability layer samples this at iteration barriers to
+        show page-home skew (the §5.1 first-touch story).  With handle
+        interning adopted the histogram covers every handle the DAG
+        touches; otherwise it falls back to the explicit placement
+        pins, and returns ``None`` when neither exists.  Read-mostly:
+        it resolves homes through :meth:`domain_of`, which only
+        populates the pure ``_domain_memo`` cache — simulated pricing
+        is unaffected (the memo is deliberately outside the
+        steady-state fingerprint for exactly this reason).
+        """
+        hist = [0] * self.machine.n_numa_domains
+        if self._intern_keys is not None:
+            keys = range(len(self._intern_keys))
+        elif self._placement:
+            keys = list(self._placement)
+        else:
+            return None
+        domain_of = self.domain_of
+        for k in keys:
+            hist[domain_of(k)] += 1
+        return tuple(hist)
+
     # ------------------------------------------------------------------
     def dram_line_cost(self, core: int, key: Optional[tuple]) -> float:
         """Seconds per line fetched from DRAM by ``core`` for ``key``.

@@ -75,17 +75,22 @@ class Runtime:
             matrix, calls, chunked, small, matrix_name, self.options
         )
 
-    def execute(self, dag: TaskDAG, iterations: int = 1) -> RunResult:
-        """Run the DAG for ``iterations`` barriered repetitions."""
+    def execute(self, dag: TaskDAG, iterations: int = 1,
+                tracer=None) -> RunResult:
+        """Run the DAG for ``iterations`` barriered repetitions.
+
+        ``tracer`` (optional :class:`repro.trace.Tracer`) attaches the
+        observability layer; results are bit-identical either way.
+        """
         raise NotImplementedError
 
     def run(
         self, matrix, calls, chunked, small, iterations: int = 1,
-        matrix_name: str = "A",
+        matrix_name: str = "A", tracer=None,
     ) -> RunResult:
         """Build + execute in one step (the common benchmark path)."""
         dag = self.build_dag(matrix, calls, chunked, small, matrix_name)
-        return self.execute(dag, iterations=iterations)
+        return self.execute(dag, iterations=iterations, tracer=tracer)
 
     def __repr__(self):
         return f"{type(self).__name__}({self.machine.name})"

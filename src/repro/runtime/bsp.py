@@ -59,11 +59,12 @@ class BSPRuntime(Runtime):
         self.flavor = flavor
         self.name = flavor
 
-    def execute(self, dag, iterations: int = 1) -> RunResult:
+    def execute(self, dag, iterations: int = 1, tracer=None) -> RunResult:
         return run_bsp(
             self.machine,
             dag,
             iterations=iterations,
             first_touch=self.first_touch,
             flavor=self.flavor,
+            tracer=tracer,
         )

@@ -57,8 +57,9 @@ class RegentRuntime(Runtime):
             dynamic_tracing=self.dynamic_tracing,
         )
 
-    def execute(self, dag, iterations: int = 1) -> RunResult:
+    def execute(self, dag, iterations: int = 1, tracer=None) -> RunResult:
         engine = SimulationEngine(
             self.machine, first_touch=self.first_touch, seed=self.seed
         )
-        return engine.run(dag, self.make_scheduler(), iterations=iterations)
+        return engine.run(dag, self.make_scheduler(),
+                          iterations=iterations, tracer=tracer)

@@ -212,8 +212,19 @@ class SimulationEngine:
         barrier_cost: Optional[float] = None,
         record_flow: bool = True,
         steady_state: Optional[bool] = None,
+        tracer=None,
     ) -> RunResult:
         """Execute ``iterations`` barriered repetitions of the DAG.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`, default off) attaches
+        the observability layer: per-task events on worker lanes,
+        barrier intervals, scheduler queue/steal/poll events, and
+        machine-state samples at every barrier.  Tracing is strictly
+        observational — with a tracer attached the simulated numbers
+        are bit-identical to ``tracer=None``; iterations produced by
+        the steady-state replay emit synthesized events
+        (``synthesized=True``) carrying the exact times the full
+        simulation would have produced.
 
         ``steady_state`` arms the iteration fast path (default: on,
         unless ``REPRO_NO_STEADY_STATE`` is set).  Iterative solvers
@@ -245,6 +256,12 @@ class SimulationEngine:
         flow = FlowGraph() if record_flow else None
         if steady_state is None:
             steady_state = _steady_state_enabled()
+        if tracer is not None:
+            tracer.begin_run(self.machine.name, scheduler.name,
+                             self.machine.n_cores, dag)
+            scheduler.tracer = tracer
+            self.cache.trace_hook = tracer._on_cache_access
+        ttask = tracer.task if tracer is not None else None
         # Detection needs two comparable warm iterations after the cold
         # one, so runs shorter than 4 iterations take the plain loop.
         armed = bool(steady_state) and iterations >= 4
@@ -258,18 +275,24 @@ class SimulationEngine:
             t0 = clock
             scheduler.reset_iteration(it, t0)
             if not armed:
-                clock = self._run_iteration(
-                    dag, scheduler, counters, flow, it, t0
+                end = self._run_iteration(
+                    dag, scheduler, counters, flow, it, t0, ttask
                 )
-                clock += barrier_cost
+                clock = end + barrier_cost
                 iteration_times.append(clock - t0)
+                if tracer is not None:
+                    tracer.sample_machine(it, end, self.cache, self.memory)
+                    tracer.barrier(it, t0, end, clock)
                 it += 1
                 continue
             end, tape = self._run_iteration_taped(
-                dag, scheduler, counters, flow, it, t0
+                dag, scheduler, counters, flow, it, t0, ttask
             )
             clock = end + barrier_cost
             iteration_times.append(clock - t0)
+            if tracer is not None:
+                tracer.sample_machine(it, end, self.cache, self.memory)
+                tracer.barrier(it, t0, end, clock)
             it += 1
             sched_fp = scheduler.state_fingerprint()
             if sched_fp is None:
@@ -288,6 +311,7 @@ class SimulationEngine:
                 it, clock = self._replay_iterations(
                     dag, scheduler, tape, counters, flow,
                     it, iterations, clock, barrier_cost, iteration_times,
+                    tracer,
                 )
                 if it > first:
                     steady_state_at = first
@@ -295,6 +319,9 @@ class SimulationEngine:
                 continue
             prev_fp = fp
             prev_tape = tape
+        if tracer is not None:
+            scheduler.tracer = None
+            self.cache.trace_hook = None
         return RunResult(
             machine=self.machine.name,
             policy=scheduler.name,
@@ -308,7 +335,8 @@ class SimulationEngine:
         )
 
     # ------------------------------------------------------------------
-    def _run_iteration(self, dag, scheduler, counters, flow, it, t0) -> float:
+    def _run_iteration(self, dag, scheduler, counters, flow, it, t0,
+                       ttask=None) -> float:
         n = len(dag)
         if n == 0:
             return t0
@@ -389,6 +417,9 @@ class SimulationEngine:
                     if record_flow is not None:
                         record_flow(tid, kernel, core, time,
                                     time + dur, it)
+                    if ttask is not None:
+                        ttask(tid, kernel, core, time, time + dur, it,
+                              overhead, compute, memory_t, m1, m2, m3)
                     idle[core] = 0
                     n_idle -= 1
                     assigned = True
@@ -431,7 +462,8 @@ class SimulationEngine:
         return time
 
     # ------------------------------------------------------------------
-    def _run_iteration_taped(self, dag, scheduler, counters, flow, it, t0):
+    def _run_iteration_taped(self, dag, scheduler, counters, flow, it, t0,
+                             ttask=None):
         """:meth:`_run_iteration` plus a *value tape* of the iteration.
 
         Every timestamp the event loop produces is a node of a small
@@ -533,6 +565,9 @@ class SimulationEngine:
                     if record_flow is not None:
                         record_flow(tid, kernel, core, time,
                                     time + dur, it)
+                    if ttask is not None:
+                        ttask(tid, kernel, core, time, time + dur, it,
+                              overhead, compute, memory_t, m1, m2, m3)
                     idle[core] = 0
                     n_idle -= 1
                     assigned = True
@@ -585,6 +620,7 @@ class SimulationEngine:
     def _replay_iterations(
         self, dag, scheduler, tape, counters, flow,
         it, iterations, clock, barrier_cost, iteration_times,
+        tracer=None,
     ):
         """Produce iterations ``it..iterations-1`` by replaying ``tape``.
 
@@ -612,6 +648,7 @@ class SimulationEngine:
         tasks = dag.tasks
         release_time = scheduler.release_time
         record_flow = flow.record if flow is not None else None
+        ttask = tracer.task if tracer is not None else None
         eps = _EPS
         n_exec = counters.tasks_executed
         busy_t = counters.busy_time
@@ -670,8 +707,22 @@ class SimulationEngine:
                 if record_flow is not None:
                     record_flow(tid, kernel, op[4], vals[op[1]],
                                 vals[node], it)
+                if ttask is not None:
+                    # Synthesized event: not re-simulated, but carries
+                    # the exact anchored times/charges full simulation
+                    # would produce for this iteration.
+                    ttask(tid, kernel, op[4], vals[op[1]], vals[node],
+                          it, op[5], op[6], op[7], op[8], op[9], op[10],
+                          True)
             clock = vals[end_node] + barrier_cost
             iteration_times.append(clock - t0)
+            if tracer is not None:
+                # Machine state is at its fixed point during replay, so
+                # barrier-interval samples legitimately repeat it.
+                tracer.sample_machine(it, vals[end_node], self.cache,
+                                      self.memory)
+                tracer.barrier(it, t0, vals[end_node], clock,
+                               synthesized=True)
             it += 1
         counters.tasks_executed = n_exec
         counters.busy_time = busy_t
@@ -696,6 +747,7 @@ def run_bsp(
     record_flow: bool = True,
     nnz_balanced: bool = False,
     steady_state: Optional[bool] = None,
+    tracer=None,
 ) -> RunResult:
     """Phase-parallel (fork-join) execution of the same DAG.
 
@@ -797,6 +849,10 @@ def run_bsp(
 
     charge = cost.charge
     frecord = flow.record if record_flow else None
+    if tracer is not None:
+        tracer.begin_run(machine.name, flavor, n_cores, dag)
+        cache.trace_hook = tracer._on_cache_access
+    ttask = tracer.task if tracer is not None else None
     # Local counter accumulation (bit-exact: same adds, same order as
     # per-task ``record_task`` calls on the fresh counters object).
     n_exec = 0
@@ -852,8 +908,14 @@ def run_bsp(
                 ktasks[kernel] = ktasks_get(kernel, 0) + 1
                 if frecord is not None:
                     frecord(tid, kernel, core, start, end, it)
+                if ttask is not None:
+                    ttask(tid, kernel, core, start, end, it,
+                          loop_overhead, compute, memory_t, m1, m2, m3)
             clock = max(core_clock) + barrier_cost
         iteration_times.append(clock - t0)
+        if tracer is not None:
+            tracer.sample_machine(it, clock - barrier_cost, cache, memory)
+            tracer.barrier(it, t0, clock - barrier_cost, clock)
         it += 1
         if not armed:
             continue
@@ -895,8 +957,18 @@ def run_bsp(
                         ktasks[kernel] = ktasks_get(kernel, 0) + 1
                         if frecord is not None:
                             frecord(tid, kernel, core, start, end, it)
+                        if ttask is not None:
+                            ttask(tid, kernel, core, start, end, it,
+                                  loop_overhead, compute, memory_t,
+                                  m1, m2, m3, True)
                     clock = max(core_clock) + barrier_cost
                 iteration_times.append(clock - t0)
+                if tracer is not None:
+                    # Fixed-point machine state: samples repeat it.
+                    tracer.sample_machine(it, clock - barrier_cost,
+                                          cache, memory)
+                    tracer.barrier(it, t0, clock - barrier_cost, clock,
+                                   synthesized=True)
                 it += 1
             break
         prev_fp = fp
@@ -909,6 +981,8 @@ def run_bsp(
     counters.l1_misses = l1m
     counters.l2_misses = l2m
     counters.l3_misses = l3m
+    if tracer is not None:
+        cache.trace_hook = None
     return RunResult(
         machine=machine.name,
         policy=flavor,

@@ -60,6 +60,14 @@ class Scheduler:
         self.machine: Optional[MachineSpec] = None
         self.memory: Optional[MemoryModel] = None
         self._queue = deque()
+        #: Observability hook (``repro.trace``): set by the engine for
+        #: the duration of a traced run.  Policies emit queue-depth
+        #: samples after every enqueue/dequeue plus steal/poll events;
+        #: emission is strictly observational (never reads back), so
+        #: scheduling decisions — including every RNG draw — are
+        #: identical with tracing on or off.  Deliberately *not* part
+        #: of :meth:`state_fingerprint`.
+        self.tracer = None
 
     # -- lifecycle ------------------------------------------------------
     def prepare(
@@ -120,14 +128,23 @@ class Scheduler:
         """A task became runnable; ``enabler_core`` is the core whose
         completion satisfied its last dependence (None for sources)."""
         self._queue.append(tid)
+        tr = self.tracer
+        if tr is not None:
+            tr.queue_depth(time, len(self._queue))
 
     def on_complete(self, tid: int, core: int) -> None:
         """Completion callback (affinity tracking hooks)."""
 
     def pick(self, core: int, time: float) -> Optional[int]:
+        tr = self.tracer
         if not self.allowed(core) or not self._queue:
+            if tr is not None:
+                tr.poll(time, core)
             return None
-        return self._queue.popleft()
+        tid = self._queue.popleft()
+        if tr is not None:
+            tr.queue_depth(time, len(self._queue))
+        return tid
 
     def has_ready(self) -> bool:
         return bool(self._queue)
@@ -181,6 +198,9 @@ class DeepSparseScheduler(Scheduler):
         else:
             self._deques[enabler_core].append(tid)
         self._n_ready += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.queue_depth(time, self._n_ready)
 
     #: shared-queue scan depth for domain-local work: DeepSparse's
     #: depth-first spawn order plus bound threads gives OpenMP tasking
@@ -188,12 +208,18 @@ class DeepSparseScheduler(Scheduler):
     numa_window = 8
 
     def pick(self, core, time):
+        tr = self.tracer
         if self._n_ready == 0:
+            if tr is not None:
+                tr.poll(time, core)
             return None
         own = self._deques[core]
         if own:
             self._n_ready -= 1
-            return own.pop()  # LIFO: depth-first continuation
+            tid = own.pop()  # LIFO: depth-first continuation
+            if tr is not None:
+                tr.queue_depth(time, self._n_ready)
+            return tid
         if self._shared:
             self._n_ready -= 1
             dom = self.machine.domain_of_core(core)
@@ -204,12 +230,28 @@ class DeepSparseScheduler(Scheduler):
                     if self.memory.domain_of((h.name, h.part)) == dom:
                         tid = self._shared[idx]
                         del self._shared[idx]
+                        if tr is not None:
+                            tr.queue_depth(time, self._n_ready)
                         return tid
-            return self._shared.popleft()
+            tid = self._shared.popleft()
+            if tr is not None:
+                tr.queue_depth(time, self._n_ready)
+            return tid
         victim = max(self._deques, key=len)
         if victim:
             self._n_ready -= 1
-            return victim.popleft()  # steal the oldest
+            tid = victim.popleft()  # steal the oldest
+            if tr is not None:
+                # Identity lookup: ``list.index`` compares deques by
+                # value, and the drained victim would alias any other
+                # empty lane.
+                vidx = next(i for i, d in enumerate(self._deques)
+                            if d is victim)
+                tr.steal(time, core, vidx, tid)
+                tr.queue_depth(time, self._n_ready)
+            return tid
+        if tr is not None:
+            tr.poll(time, core)
         return None
 
     def has_ready(self):
@@ -254,6 +296,9 @@ class HPXScheduler(Scheduler):
     def on_ready(self, tid, time, enabler_core=None):
         self._queues[self._domain_of_task(tid)].append(tid)
         self._n_ready += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.queue_depth(time, self._n_ready)
 
     def state_fingerprint(self):
         # Window picks draw from the RNG, so the generator state is
@@ -269,7 +314,10 @@ class HPXScheduler(Scheduler):
         )
 
     def pick(self, core, time):
+        tr = self.tracer
         if self._n_ready == 0:
+            if tr is not None:
+                tr.poll(time, core)
             return None
         if self.numa_aware:
             dom = self.machine.domain_of_core(core) % len(self._queues)
@@ -280,14 +328,28 @@ class HPXScheduler(Scheduler):
             # Work stealing: raid the longest other queue from the back.
             q = max(self._queues, key=len)
             if not q:
+                if tr is not None:
+                    tr.poll(time, core)
                 return None
             self._n_ready -= 1
-            return q.pop()
+            tid = q.pop()
+            if tr is not None:
+                # Victim is a *domain* queue index (HPX queues are
+                # per-domain, not per-core); identity lookup because
+                # a drained queue compares equal to any empty one.
+                vidx = next(i for i, d in enumerate(self._queues)
+                            if d is q)
+                tr.steal(time, core, vidx, tid)
+                tr.queue_depth(time, self._n_ready)
+            return tid
         # HPX places "less value on prioritization of tasks launched
         # earlier": draw from a small window at the front.
         idx = int(self.rng.integers(0, min(len(q), self.shuffle_window)))
         self._n_ready -= 1
-        return q.pop(idx)
+        tid = q.pop(idx)
+        if tr is not None:
+            tr.queue_depth(time, self._n_ready)
+        return tid
 
     def has_ready(self):
         return self._n_ready > 0
@@ -383,17 +445,34 @@ class RegentScheduler(Scheduler):
     def on_ready(self, tid, time, enabler_core=None):
         self._worker_q[self._home_worker(tid)].append(tid)
         self._n_ready += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.queue_depth(time, self._n_ready)
 
     def pick(self, core, time):
+        tr = self.tracer
         if not self.allowed(core) or self._n_ready == 0:
+            if tr is not None:
+                tr.poll(time, core)
             return None
         q = self._worker_q[core]
+        raided = False
         if not q:
             q = max(self._worker_q, key=len)
             if not q:
+                if tr is not None:
+                    tr.poll(time, core)
                 return None
+            raided = True
         self._n_ready -= 1
-        return q.popleft()
+        tid = q.popleft()
+        if tr is not None:
+            if raided:
+                vidx = next(i for i, d in enumerate(self._worker_q)
+                            if d is q)
+                tr.steal(time, core, vidx, tid)
+            tr.queue_depth(time, self._n_ready)
+        return tid
 
     def has_ready(self):
         return self._n_ready > 0

@@ -1,0 +1,61 @@
+"""Structured tracing & metrics for the simulator (DESIGN.md §7).
+
+Quick use::
+
+    from repro.trace import Tracer, write_chrome_trace, metrics_from_events
+
+    tracer = Tracer()                       # in-memory sink
+    res = run_version("broadwell", "inline1", "lanczos", "deepsparse",
+                      block_count=16, iterations=4, tracer=tracer)
+    write_chrome_trace("trace.json", tracer)          # Perfetto-loadable
+    table = metrics_from_events(tracer.events, meta=tracer.meta)
+
+Tracing is strictly observational: with ``tracer=None`` (the default
+everywhere) the simulator takes its historical code paths and produces
+bit-identical results; with a tracer attached it performs only reads
+and emits, never mutating simulated state, so results stay
+bit-identical either way (pinned by ``tests/test_engine_equivalence.py``
+and the golden-trace suite).
+"""
+
+from repro.trace.chrome import to_chrome_trace, write_chrome_trace
+from repro.trace.events import (
+    EVENT_KINDS,
+    BarrierEvent,
+    CacheSampleEvent,
+    MissBurstEvent,
+    NumaSampleEvent,
+    PollEvent,
+    QueueDepthEvent,
+    StealEvent,
+    TaskEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.trace.metrics import MetricsRow, MetricsTable, metrics_from_events
+from repro.trace.sink import InMemorySink, JSONLSink, TraceSink, read_jsonl
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceSink",
+    "InMemorySink",
+    "JSONLSink",
+    "read_jsonl",
+    "TaskEvent",
+    "BarrierEvent",
+    "QueueDepthEvent",
+    "StealEvent",
+    "PollEvent",
+    "CacheSampleEvent",
+    "MissBurstEvent",
+    "NumaSampleEvent",
+    "EVENT_KINDS",
+    "event_to_dict",
+    "event_from_dict",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "MetricsRow",
+    "MetricsTable",
+    "metrics_from_events",
+]

@@ -1,0 +1,184 @@
+"""Per-barrier-interval metrics table derived from a trace.
+
+The time-series view the paper's overhead discussion needs: for every
+iteration (= barrier interval) the busy/idle split of the worker pool,
+scheduler queue-depth statistics, per-level cache occupancy and miss
+totals, and steal/poll counts.  Built purely from the event stream —
+the same rows come out of an in-memory run or a reloaded JSONL file.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MetricsRow", "MetricsTable", "metrics_from_events"]
+
+
+@dataclass
+class MetricsRow:
+    """Aggregates for one barrier interval (one solver iteration)."""
+
+    iteration: int
+    start: float
+    end: float
+    span: float
+    tasks: int
+    busy_time: float
+    idle_fraction: float
+    queue_depth_max: int
+    queue_depth_mean: float
+    steals: int
+    polls: int
+    l1_misses: int
+    l2_misses: int
+    l3_misses: int
+    cache_occupancy: Dict[str, float] = field(default_factory=dict)
+    synthesized: bool = False
+
+    COLUMNS = (
+        "iteration", "start", "end", "span", "tasks", "busy_time",
+        "idle_fraction", "queue_depth_max", "queue_depth_mean",
+        "steals", "polls", "l1_misses", "l2_misses", "l3_misses",
+        "l1_occupancy", "l2_occupancy", "l3_occupancy", "synthesized",
+    )
+
+    def as_list(self) -> list:
+        return [
+            self.iteration, self.start, self.end, self.span, self.tasks,
+            self.busy_time, self.idle_fraction, self.queue_depth_max,
+            self.queue_depth_mean, self.steals, self.polls,
+            self.l1_misses, self.l2_misses, self.l3_misses,
+            self.cache_occupancy.get("L1", 0.0),
+            self.cache_occupancy.get("L2", 0.0),
+            self.cache_occupancy.get("L3", 0.0),
+            int(self.synthesized),
+        ]
+
+
+@dataclass
+class MetricsTable:
+    """Ordered per-iteration rows plus run metadata."""
+
+    rows: List[MetricsRow]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": dict(self.meta),
+            "columns": list(MetricsRow.COLUMNS),
+            "rows": [r.as_list() for r in self.rows],
+        }
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(MetricsRow.COLUMNS) + "\n")
+        for r in self.rows:
+            buf.write(",".join(repr(v) if isinstance(v, float) else str(v)
+                               for v in r.as_list()) + "\n")
+        return buf.getvalue()
+
+    def render(self) -> str:
+        """Compact fixed-width text table for terminal output."""
+        hdr = (f"{'it':>4s} {'span (ms)':>10s} {'busy (ms)':>10s} "
+               f"{'idle':>6s} {'q.max':>6s} {'steals':>7s} "
+               f"{'L3 miss':>9s} {'L3 occ':>7s} {'replay':>7s}")
+        lines = [hdr]
+        for r in self.rows:
+            lines.append(
+                f"{r.iteration:4d} {r.span * 1e3:10.3f} "
+                f"{r.busy_time * 1e3:10.3f} {r.idle_fraction:6.2f} "
+                f"{r.queue_depth_max:6d} {r.steals:7d} "
+                f"{r.l3_misses:9d} "
+                f"{r.cache_occupancy.get('L3', 0.0):7.2f} "
+                f"{'yes' if r.synthesized else '':>7s}"
+            )
+        return "\n".join(lines)
+
+
+def metrics_from_events(events, n_cores: Optional[int] = None,
+                        meta: Optional[dict] = None) -> MetricsTable:
+    """Fold an event stream into per-barrier-interval rows.
+
+    Events are attributed to intervals by the barrier events that close
+    them (the engine emits scheduler/machine samples between barriers,
+    in time order); ``n_cores`` (from ``tracer.meta`` when omitted)
+    turns busy time into an idle fraction.
+    """
+    meta = dict(meta or {})
+    if n_cores is None:
+        n_cores = meta.get("n_cores")
+    rows: List[MetricsRow] = []
+    # Accumulators for the currently-open interval.
+    tasks = 0
+    busy = 0.0
+    m1 = m2 = m3 = 0
+    qmax = 0
+    qsum = 0
+    qn = 0
+    steals = 0
+    polls = 0
+    occupancy: Dict[str, float] = {}
+    synthesized_tasks = 0
+    for ev in events:
+        kind = ev.kind
+        if kind == "task":
+            tasks += 1
+            busy += ev.end - ev.start
+            m1 += ev.l1
+            m2 += ev.l2
+            m3 += ev.l3
+            if ev.synthesized:
+                synthesized_tasks += 1
+        elif kind == "queue":
+            if ev.depth > qmax:
+                qmax = ev.depth
+            qsum += ev.depth
+            qn += 1
+        elif kind == "steal":
+            steals += 1
+        elif kind == "poll":
+            polls += 1
+        elif kind == "cache":
+            occupancy[ev.level] = (
+                ev.used / ev.capacity if ev.capacity else 0.0
+            )
+        elif kind == "barrier":
+            span = ev.end - ev.start
+            cores = n_cores or 1
+            idle = (1.0 - busy / (span * cores)) if span > 0 else 0.0
+            rows.append(MetricsRow(
+                iteration=ev.iteration,
+                start=ev.start,
+                end=ev.end,
+                span=span,
+                tasks=tasks,
+                busy_time=busy,
+                idle_fraction=idle,
+                queue_depth_max=qmax,
+                queue_depth_mean=(qsum / qn) if qn else 0.0,
+                steals=steals,
+                polls=polls,
+                l1_misses=m1,
+                l2_misses=m2,
+                l3_misses=m3,
+                cache_occupancy=dict(occupancy),
+                synthesized=ev.synthesized or (
+                    tasks > 0 and synthesized_tasks == tasks
+                ),
+            ))
+            tasks = 0
+            busy = 0.0
+            m1 = m2 = m3 = 0
+            qmax = qsum = qn = 0
+            steals = polls = 0
+            synthesized_tasks = 0
+            # occupancy persists (latest sample carries forward)
+    return MetricsTable(rows=rows, meta=meta)

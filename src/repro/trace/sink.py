@@ -1,0 +1,93 @@
+"""Event sinks: where a :class:`~repro.trace.Tracer` puts its events.
+
+The sink protocol is one method, ``emit(event)``, plus an optional
+``close()`` — injectable so tests can assert on an in-memory list while
+big runs stream to disk without retaining anything:
+
+* :class:`InMemorySink` — appends every event to ``events`` (the
+  default; what the exporters and the test-suite read).
+* :class:`JSONLSink` — streams one JSON object per line to a file and
+  keeps O(1) memory; :func:`read_jsonl` loads such a file back into
+  event tuples for offline export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.trace.events import event_from_dict, event_to_dict
+
+__all__ = ["TraceSink", "InMemorySink", "JSONLSink", "read_jsonl"]
+
+
+class TraceSink:
+    """Abstract sink: receives every event the tracer emits, in order."""
+
+    def emit(self, event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent; no-op by default)."""
+
+    # Context-manager sugar so ``with JSONLSink(p) as sink:`` works.
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class InMemorySink(TraceSink):
+    """Keep every event in a list — the test/analysis default."""
+
+    def __init__(self):
+        self.events: List = []
+        # Bound method handed to the tracer: emitting is a single
+        # list.append, the cheapest sink CPython can offer.
+        self.emit = self.events.append
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class JSONLSink(TraceSink):
+    """Stream events to a JSON-lines file (one event per line).
+
+    For big runs: nothing is retained in memory.  Accepts a path (owned:
+    ``close`` closes it) or an open text file object (borrowed).
+    """
+
+    def __init__(self, path_or_file: Union[str, IO[str]]):
+        if hasattr(path_or_file, "write"):
+            self._f: Optional[IO[str]] = path_or_file
+            self._owned = False
+        else:
+            self._f = open(path_or_file, "w", encoding="utf-8")
+            self._owned = True
+        self.n_events = 0
+
+    def emit(self, event) -> None:
+        self._f.write(json.dumps(event_to_dict(event)))
+        self._f.write("\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        f, self._f = self._f, None
+        if f is not None:
+            f.flush()
+            if self._owned:
+                f.close()
+
+
+def read_jsonl(path: str) -> Iterator:
+    """Yield the events of a :class:`JSONLSink` file, in emit order."""
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))

@@ -1,0 +1,157 @@
+"""Golden traces: the observability layer's event stream is frozen.
+
+``tests/fixtures/golden_traces.json`` pins, for every solver version
+on one small evaluation cell, the shape of the trace produced by
+:class:`repro.trace.Tracer`: event counts per kind, the set of worker
+lanes, the number of replay-synthesized task events, the engaged
+steady-state iteration, the per-level miss totals carried in task
+args, and the exact makespan.  Any change to what the engines emit —
+an extra event, a dropped lane, a perturbed timestamp — fails loudly
+here before it silently corrupts a Chrome trace someone is staring at
+in Perfetto.
+
+The live assertions below additionally check properties the fixture
+cannot freeze by value: miss args summing exactly to the engine's
+:class:`~repro.machine.perf.PerfCounters`, per-event timestamp sanity,
+and lane assignments staying inside the machine's core count.
+
+If a change *intends* to alter the stream (new event kind, different
+sampling cadence), regenerate the fixture in the same commit; see the
+note at the bottom of this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+import pytest
+
+from repro.analysis.experiment import run_version
+from repro.trace import InMemorySink, Tracer
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "golden_traces.json")
+
+#: One small cell, all five versions.  iterations=4 arms the
+#: steady-state fast path, so the fixture also freezes how many task
+#: events each version replays from the tape (synthesized=True).
+CELL = dict(machine="broadwell", matrix="inline1", solver="lanczos",
+            block_count=16, iterations=4)
+VERSIONS = ("libcsr", "libcsb", "deepsparse", "hpx", "regent")
+
+with open(FIXTURE, "r", encoding="utf-8") as _f:
+    _GOLDEN = json.load(_f)
+
+assert set(_GOLDEN) == set(VERSIONS), "fixture must cover all versions"
+
+
+def _traced(version):
+    tracer = Tracer(InMemorySink())
+    res = run_version(CELL["machine"], CELL["matrix"], CELL["solver"],
+                      version, block_count=CELL["block_count"],
+                      iterations=CELL["iterations"], tracer=tracer)
+    return res, tracer
+
+
+def _profile(res, tracer) -> dict:
+    """The frozen shape of one trace (exact floats, like the engine
+    equivalence fixture)."""
+    events = tracer.events
+    tasks = [e for e in events if e.kind == "task"]
+    return {
+        "event_counts": dict(sorted(Counter(e.kind
+                                            for e in events).items())),
+        "n_tasks": len(tasks),
+        "n_synthesized": sum(1 for t in tasks if t.synthesized),
+        "lanes": sorted({t.core for t in tasks}),
+        "steady_state_at": res.steady_state_at,
+        "miss_sums": [sum(t.l1 for t in tasks),
+                      sum(t.l2 for t in tasks),
+                      sum(t.l3 for t in tasks)],
+        "makespan": max(t.end for t in tasks),
+    }
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_trace_shape_matches_golden(version):
+    res, tracer = _traced(version)
+    got = _profile(res, tracer)
+    expected = _GOLDEN[version]
+    for field, exp in expected.items():
+        assert got[field] == exp, (
+            f"{version}: trace {field} drifted\n  expected {exp!r}\n"
+            f"  got      {got[field]!r}\nEither revert the change or "
+            f"regenerate tests/fixtures/golden_traces.json."
+        )
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_task_miss_args_sum_to_engine_counters(version):
+    """Per-task miss attribution must account for *every* miss.
+
+    Replay-synthesized task events carry the same charge decomposition
+    as the honestly simulated iteration they replay, so the totals hold
+    with the fast path engaged too.
+    """
+    res, tracer = _traced(version)
+    tasks = [e for e in tracer.events if e.kind == "task"]
+    assert sum(t.l1 for t in tasks) == res.counters.l1_misses
+    assert sum(t.l2 for t in tasks) == res.counters.l2_misses
+    assert sum(t.l3 for t in tasks) == res.counters.l3_misses
+    assert len(tasks) == res.counters.tasks_executed
+    assert sum(t.end - t.start for t in tasks) == \
+        pytest.approx(res.counters.busy_time, rel=0, abs=1e-9)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_timestamps_and_lanes_are_sane(version):
+    res, tracer = _traced(version)
+    events = tracer.events
+    tasks = [e for e in events if e.kind == "task"]
+    barriers = [e for e in events if e.kind == "barrier"]
+    assert len(barriers) == CELL["iterations"]
+    # Barriers partition the run: one per iteration, strictly ordered,
+    # each closing after its compute span ends.
+    for i, b in enumerate(barriers):
+        assert b.iteration == i
+        assert b.start <= b.compute_end <= b.end
+    for a, b in zip(barriers, barriers[1:]):
+        assert a.end <= b.start
+    # Task events: non-negative spans on valid lanes, inside the run.
+    for t in tasks:
+        assert 0.0 <= t.start <= t.end
+        assert 0 <= t.core < res.n_cores
+        assert 0 <= t.iteration < CELL["iterations"]
+    # Every lane the engine reports as used appears in the trace.
+    assert {t.core for t in tasks} == set(_GOLDEN[version]["lanes"])
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_machine_samples_cover_every_iteration(version):
+    _, tracer = _traced(version)
+    events = tracer.events
+    for kind in ("cache", "burst"):
+        its = sorted({e.iteration for e in events if e.kind == kind})
+        assert its == list(range(CELL["iterations"])), (
+            f"{version}: {kind} samples missing iterations"
+        )
+    # Three cache levels sampled per iteration.
+    per_it = Counter(e.iteration for e in events if e.kind == "cache")
+    assert set(per_it.values()) == {3}
+
+
+# Fixture regeneration (only together with an intentional change to
+# the event stream):
+#
+#   PYTHONPATH=src:. python - <<'EOF'
+#   import json
+#   from tests.test_trace_golden import (FIXTURE, VERSIONS, _traced,
+#                                        _profile)
+#   out = {}
+#   for v in VERSIONS:
+#       res, tracer = _traced(v)
+#       out[v] = _profile(res, tracer)
+#   json.dump(out, open(FIXTURE, "w"), indent=1, sort_keys=True)
+#   EOF
