@@ -246,6 +246,28 @@ def _trace_cell_artifacts(out_dir, label, tracer, events=None):
     return trace_path, metrics_path, table
 
 
+def _traced_bench_cell(cell_fields: dict, label: str, out_dir: str):
+    """Run one traced bench cell and write its artifacts.
+
+    Module-level so ``bench --trace --jobs N`` can ship it to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker; artifacts
+    are written in the worker (they can be large), and only the
+    serializable run summary travels back for the results table.
+    """
+    from repro.analysis.experiment import run_version
+    from repro.trace import Tracer
+
+    tracer = Tracer()
+    res = run_version(
+        cell_fields["machine"], cell_fields["matrix"],
+        cell_fields["solver"], cell_fields["version"],
+        block_count=cell_fields["block_count"],
+        iterations=cell_fields["iterations"], tracer=tracer,
+    )
+    trace_path, _, _ = _trace_cell_artifacts(out_dir, label, tracer)
+    return res.summary(), trace_path
+
+
 def _cmd_trace(args) -> int:
     import json
     import os
@@ -313,23 +335,38 @@ def _cmd_bench(args) -> int:
         iterations=args.iterations,
     )
     if args.trace:
-        # Traced grid: in-process, cache bypassed (a trace needs a live
-        # simulation), one Chrome trace + metrics CSV per cell.
-        from repro.analysis.experiment import run_version
-        from repro.trace import Tracer
+        # Traced grid: cache bypassed (a trace needs a live simulation),
+        # one Chrome trace + metrics CSV per cell.  With --jobs > 1 the
+        # cells fan out across a process pool; each worker writes its
+        # own artifacts (trace content is simulated time, so the output
+        # is byte-identical to a sequential run).
+        work = [
+            ({"machine": cell.machine, "matrix": cell.matrix,
+              "solver": cell.solver, "version": cell.version,
+              "block_count": cell.block_count,
+              "iterations": cell.iterations},
+             cell.label().replace("/", "-").replace("@", "-bc"))
+            for cell in cells
+        ]
+        if runner.jobs > 1 and len(cells) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
+            n_workers = min(runner.jobs, len(cells))
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(_traced_bench_cell, fields, label,
+                                args.trace)
+                    for fields, label in work
+                ]
+                traced = [f.result() for f in futures]
+        else:
+            traced = [_traced_bench_cell(fields, label, args.trace)
+                      for fields, label in work]
         results = []
-        for cell in cells:
-            tracer = Tracer()
-            res = run_version(cell.machine, cell.matrix, cell.solver,
-                              cell.version, block_count=cell.block_count,
-                              iterations=cell.iterations, tracer=tracer)
-            label = cell.label().replace("/", "-").replace("@", "-bc")
-            trace_path, _, _ = _trace_cell_artifacts(args.trace, label,
-                                                     tracer)
+        for cell, (summary, trace_path) in zip(cells, traced):
             if args.profile:
                 print(f"traced {cell.label()} -> {trace_path}")
-            results.append(res)
+            results.append(summary)
     else:
         results = runner.run_cells(cells)
 

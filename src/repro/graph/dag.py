@@ -81,9 +81,11 @@ class TaskDAG:
             return
         if not (0 <= u < len(self.tasks) and 0 <= v < len(self.tasks)):
             raise IndexError(f"edge ({u}, {v}) references unknown task")
-        if (u, v) in self._edge_set:
+        es = self._edge_set
+        n = len(es)
+        es.add((u, v))
+        if len(es) == n:  # duplicate: one hash probe, not two
             return
-        self._edge_set.add((u, v))
         self.succ[u].append(v)
         self.pred[v].append(u)
 

@@ -23,6 +23,15 @@ closures, and a precomputed core→L3-group map.  Semantics are frozen
 by ``tests/test_engine_equivalence.py``: every change here must keep
 simulated numbers bit-identical or bump
 :data:`repro.sim.cost.COST_MODEL_VERSION`.
+
+The compiled-plan charge walk (:meth:`repro.sim.cost.CostModel.
+_charge_fast`) inlines this exact algorithm once more, fused with the
+pricing loop; it reads and writes ``LRUCache._entries`` / ``.used``
+and the hierarchy's ``_sharers`` / ``_l3_sharers`` / ``_group_of`` /
+``_invalidate_others`` / ``trace_hook`` directly.  Those names are an
+internal contract: any semantic change to :meth:`CacheHierarchy.
+access` must be mirrored there (the equivalence fixture and the
+charge-memo property test catch divergence).
 """
 
 from __future__ import annotations
@@ -155,20 +164,37 @@ class CacheHierarchy:
         new_resident = nbytes if nbytes < capacity else capacity
         used = level.used + new_resident - resident
         entries[key] = new_resident
-        while used > capacity and entries:
-            k = next(iter(entries))
-            used -= entries.pop(k)
-            if k not in l2_entries:
-                # Evicted from every private level of this core: prune
-                # the stale sharer so the invalidation sweep and the
-                # sharer maps stay bounded by actual residency.
-                # Bit-exact: invalidating a non-holder is a no-op, so
-                # membership of non-holders never affected state.
-                s = sharer_map.get(k)
-                if s is not None:
-                    s.discard(core)
-                    if not s:
-                        del sharer_map[k]
+        if used > capacity:
+            if new_resident == capacity:
+                # Whole-cache clobber: the inserted extent fills the
+                # level, so every other entry must go.  Same victims in
+                # the same LRU order as the loop below — the dominant
+                # case for cold streaming touches, without the per-
+                # victim iterator churn.
+                victims = list(entries)
+                victims.pop()  # the just-inserted key (MRU end)
+                entries.clear()
+                entries[key] = new_resident
+                used = new_resident
+            else:
+                victims = []
+                while used > capacity and entries:
+                    k = next(iter(entries))
+                    used -= entries.pop(k)
+                    victims.append(k)
+            for k in victims:
+                if k not in l2_entries:
+                    # Evicted from every private level of this core:
+                    # prune the stale sharer so the invalidation sweep
+                    # and the sharer maps stay bounded by actual
+                    # residency.  Bit-exact: invalidating a non-holder
+                    # is a no-op, so membership of non-holders never
+                    # affected state.
+                    s = sharer_map.get(k)
+                    if s is not None:
+                        s.discard(core)
+                        if not s:
+                            del sharer_map[k]
         level.used = used
         m2 = m3 = 0
         if m1:
@@ -182,15 +208,26 @@ class CacheHierarchy:
             new_resident = m1 if m1 < capacity else capacity
             used = level.used + new_resident - resident
             entries[key] = new_resident
-            while used > capacity and entries:
-                k = next(iter(entries))
-                used -= entries.pop(k)
-                if k not in l1_entries:
-                    s = sharer_map.get(k)
-                    if s is not None:
-                        s.discard(core)
-                        if not s:
-                            del sharer_map[k]
+            if used > capacity:
+                if new_resident == capacity:
+                    victims = list(entries)
+                    victims.pop()
+                    entries.clear()
+                    entries[key] = new_resident
+                    used = new_resident
+                else:
+                    victims = []
+                    while used > capacity and entries:
+                        k = next(iter(entries))
+                        used -= entries.pop(k)
+                        victims.append(k)
+                for k in victims:
+                    if k not in l1_entries:
+                        s = sharer_map.get(k)
+                        if s is not None:
+                            s.discard(core)
+                            if not s:
+                                del sharer_map[k]
             level.used = used
             if m2:
                 # -- L3 (shared per group) ----------------------------
@@ -202,14 +239,25 @@ class CacheHierarchy:
                 new_resident = m2 if m2 < capacity else capacity
                 used = level.used + new_resident - resident
                 entries[key] = new_resident
-                while used > capacity and entries:
-                    k = next(iter(entries))
-                    used -= entries.pop(k)
-                    s = l3_sharer_map.get(k)
-                    if s is not None:
-                        s.discard(g)
-                        if not s:
-                            del l3_sharer_map[k]
+                if used > capacity:
+                    if new_resident == capacity:
+                        victims = list(entries)
+                        victims.pop()
+                        entries.clear()
+                        entries[key] = new_resident
+                        used = new_resident
+                    else:
+                        victims = []
+                        while used > capacity and entries:
+                            k = next(iter(entries))
+                            used -= entries.pop(k)
+                            victims.append(k)
+                    for k in victims:
+                        s = l3_sharer_map.get(k)
+                        if s is not None:
+                            s.discard(g)
+                            if not s:
+                                del l3_sharer_map[k]
                 level.used = used
         # Sharer maps are maintained independently (pruning may have
         # emptied one but not the other for this key).

@@ -35,7 +35,7 @@ class MemoryModel:
         "machine", "first_touch", "scattered", "_n_parts",
         "matrix_geometry", "_placement", "_core_domain", "_domain_memo",
         "_local_cost", "_remote_cost", "_scattered_cost",
-        "_intern_keys", "_intern_parts",
+        "_intern_keys", "_intern_parts", "state_epoch",
     )
 
     def __init__(self, machine: MachineSpec, first_touch: bool = True,
@@ -55,6 +55,14 @@ class MemoryModel:
         self._placement = {}
         # -- hot-path precomputation (pure caching, no semantics) ------
         self._domain_memo = {}
+        #: Monotone counter bumped by every mutation that can change a
+        #: handle's home domain (placement pins, partition-count or
+        #: interning changes).  Compiled access plans
+        #: (:meth:`repro.sim.cost.CostModel.prepare`) bake per-key home
+        #: domains into arrays and compare this epoch per charge; on a
+        #: mismatch they fall back to the live :meth:`dram_line_cost`
+        #: path, so precomputation can never serve a stale home.
+        self.state_epoch = 0
         # Interned handle keys (see TaskDAG.handle_interning): parallel
         # lists resolving a small int key back to its (name, part)
         # tuple and to its ``part`` alone (the scattered-cost test).
@@ -89,6 +97,7 @@ class MemoryModel:
         # it invalidates every memoized home domain.
         self._n_parts = value
         self._domain_memo.clear()
+        self.state_epoch += 1
 
     def configure_from_dag(self, dag) -> None:
         """Adopt a DAG's partition geometry (set by the TDGG)."""
@@ -103,6 +112,7 @@ class MemoryModel:
         if interning is not None:
             self.adopt_interning(interning()[1])
         self._domain_memo.clear()
+        self.state_epoch += 1
 
     def adopt_interning(self, id_to_key) -> None:
         """Adopt a DAG's handle interning so int keys resolve here.
@@ -117,6 +127,7 @@ class MemoryModel:
         self._intern_keys = id_to_key
         self._intern_parts = [k[1] for k in id_to_key]
         self._domain_memo.clear()
+        self.state_epoch += 1
 
     # ------------------------------------------------------------------
     def domain_of(self, key: tuple) -> int:
@@ -157,6 +168,7 @@ class MemoryModel:
         # Int-keyed memo entries for this handle would go stale, so
         # drop the whole memo (placement pins happen before runs).
         self._domain_memo.clear()
+        self.state_epoch += 1
 
     def is_remote(self, core: int, key: tuple) -> bool:
         return self._core_domain[core] != self.domain_of(key)
@@ -185,6 +197,24 @@ class MemoryModel:
         for k in keys:
             hist[domain_of(k)] += 1
         return tuple(hist)
+
+    def home_arrays(self):
+        """Per-interned-key ``(home_domain, is_partitioned)`` arrays.
+
+        Used by the access-plan compiler: with interning adopted, it
+        resolves every key's home once so the charge fast path indexes
+        a list instead of calling :meth:`dram_line_cost` per touch.
+        Returns ``(homes, has_part)`` or ``None`` without interning.
+        The caller must stamp the current :attr:`state_epoch` next to
+        the arrays and re-validate it per charge — any placement
+        mutation bumps the epoch and invalidates them.
+        """
+        if self._intern_keys is None:
+            return None
+        domain_of = self.domain_of
+        homes = [domain_of(k) for k in range(len(self._intern_keys))]
+        has_part = [p is not None for p in self._intern_parts]
+        return homes, has_part
 
     # ------------------------------------------------------------------
     def dram_line_cost(self, core: int, key: Optional[tuple]) -> float:

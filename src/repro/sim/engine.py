@@ -249,7 +249,7 @@ class SimulationEngine:
         if self.memory.n_parts is None:
             self.memory.n_parts = _max_partitions(dag)
         scheduler.prepare(dag, self.machine, self.memory, seed=self.seed)
-        self.cost.prepare(dag)
+        self.cost.prepare(dag, iterations=iterations)
         counters = PerfCounters()
         # record_flow=False must actually skip recording, not record
         # every task and throw the trace away afterwards.
@@ -322,6 +322,10 @@ class SimulationEngine:
         if tracer is not None:
             scheduler.tracer = None
             self.cache.trace_hook = None
+        # Fold this run's charge-memo counters into the process-wide
+        # aggregate (the engine object is per-execute, so the counters
+        # would otherwise be unobservable from benchmark code).
+        self.cost.flush_memo_stats()
         return RunResult(
             machine=self.machine.name,
             policy=scheduler.name,
@@ -774,7 +778,7 @@ def run_bsp(
     if memory.n_parts is None:
         memory.n_parts = _max_partitions(dag)
     cost = CostModel(machine, cache, memory)
-    cost.prepare(dag)
+    cost.prepare(dag, iterations=iterations)
     counters = PerfCounters()
     flow = FlowGraph()
     n_cores = machine.n_cores
@@ -983,6 +987,7 @@ def run_bsp(
     counters.l3_misses = l3m
     if tracer is not None:
         cache.trace_hook = None
+    cost.flush_memo_stats()
     return RunResult(
         machine=machine.name,
         policy=flavor,

@@ -47,6 +47,44 @@ def test_compare_command(capsys):
         assert v in out
 
 
+def _bench_trace_args(out_dir, jobs):
+    return ["bench", "--machine", "broadwell", "--matrix", "inline1",
+            "--solver", "lanczos", "--version", "libcsr", "deepsparse",
+            "--iterations", "2", "--no-cache",
+            "--trace", str(out_dir), "--jobs", str(jobs)]
+
+
+def test_bench_trace_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "seq"
+    assert main(_bench_trace_args(out, 1)) == 0
+    table = capsys.readouterr().out
+    names = sorted(p.name for p in out.iterdir())
+    # one Chrome trace + one metrics CSV per grid cell
+    assert sum(n.endswith(".trace.json") for n in names) == 2
+    assert sum(n.endswith(".metrics.csv") for n in names) == 2
+    assert any("libcsr" in n for n in names)
+    assert any("deepsparse" in n for n in names)
+    assert "t/iter (ms)" in table and "deepsparse" in table
+
+
+def test_bench_trace_jobs_fanout_matches_sequential(tmp_path, capsys):
+    """--trace with --jobs > 1 fans cells out over a process pool; the
+    per-cell artifacts and the results table must be byte-identical to
+    the single-process run (traces record simulated time only)."""
+    seq, par = tmp_path / "seq", tmp_path / "par"
+    assert main(_bench_trace_args(seq, 1)) == 0
+    seq_table = capsys.readouterr().out
+    assert main(_bench_trace_args(par, 2)) == 0
+    par_table = capsys.readouterr().out
+
+    seq_names = sorted(p.name for p in seq.iterdir())
+    par_names = sorted(p.name for p in par.iterdir())
+    assert seq_names == par_names and seq_names
+    for name in seq_names:
+        assert (seq / name).read_bytes() == (par / name).read_bytes(), name
+    assert seq_table == par_table
+
+
 def test_tune_command(capsys):
     assert main(["tune", "--matrix", "inline1", "--runtime", "deepsparse",
                  "--machine", "broadwell", "--solver", "lanczos"]) == 0

@@ -1,0 +1,189 @@
+"""The charge memo must be observationally invisible.
+
+``CostModel._charge_fast`` memoizes whole task charges against a
+signature of the resident cache state and replays a recorded
+state-delta on a hit instead of re-walking the hierarchy.  These tests
+pin the memo's one invariant from both ends:
+
+* property level — random task sets charged over random schedules,
+  repeated until states recur, must produce bit-identical
+  :class:`~repro.sim.cost.TaskCharge` values *and* leave the
+  :class:`~repro.machine.cache.CacheHierarchy` in bit-identical state
+  (LRU insertion order included — the steady-state fingerprint hashes
+  it) whether the memo is armed or killed via ``REPRO_NO_CHARGE_MEMO``;
+
+* engine level — full simulated runs of every task-parallel scheduler
+  (deepsparse / hpx / regent) with enough live iterations for the memo
+  to record and replay must report identical numbers with the memo on
+  and off.
+
+A deterministic case additionally asserts the memo really *hits* under
+a recurring heavy access pattern, so the property isn't vacuously
+checking the miss path against itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dag import TaskDAG
+from repro.graph.task import DataHandle, Task
+from repro.machine.cache import CacheHierarchy
+from repro.machine.memory import MemoryModel
+from repro.machine.presets import broadwell
+from repro.sim.cost import (
+    CostModel,
+    charge_memo_stats,
+    reset_charge_memo_stats,
+)
+
+_MEMO_ENV = "REPRO_NO_CHARGE_MEMO"
+
+# Enough repeats of one schedule for the cache to reach its fixed
+# point (round 2), the memo to record (third consecutive sighting of a
+# state) and then replay hits for the remaining rounds.
+_ROUNDS = 6
+
+
+def _fingerprint(cache: CacheHierarchy):
+    """Exact hierarchy state: entries in insertion order + sharers."""
+    return (
+        tuple((tuple(l._entries.items()), l.used) for l in cache.l1),
+        tuple((tuple(l._entries.items()), l.used) for l in cache.l2),
+        tuple((tuple(l._entries.items()), l.used) for l in cache.l3),
+        tuple(sorted((k, tuple(sorted(v)))
+                     for k, v in cache._sharers.items() if v)),
+        tuple(sorted((k, tuple(sorted(v)))
+                     for k, v in cache._l3_sharers.items() if v)),
+    )
+
+
+def _charge_schedule(tasks, schedule, disarm: bool):
+    """Charge ``schedule`` for ``_ROUNDS`` rounds on a fresh model."""
+    old = os.environ.pop(_MEMO_ENV, None)
+    if disarm:
+        os.environ[_MEMO_ENV] = "1"
+    try:
+        bw = broadwell()
+        cache = CacheHierarchy(bw)
+        mem = MemoryModel(bw, first_touch=True, n_parts=8)
+        cm = CostModel(bw, cache, mem)
+        dag = TaskDAG()
+        for t in tasks:
+            dag.add_task(t)
+        cm.prepare(dag)  # iterations=None: memo arms (unless killed)
+        charges = []
+        for _ in range(_ROUNDS):
+            for ti, core in schedule:
+                charges.append(tuple(cm.charge(dag.tasks[ti], core)))
+        return charges, _fingerprint(cache), cm
+    finally:
+        os.environ.pop(_MEMO_ENV, None)
+        if old is not None:
+            os.environ[_MEMO_ENV] = old
+
+
+@st.composite
+def task_workloads(draw):
+    """A random task set plus a (task, core) charge schedule.
+
+    Handle sizes range up to several hundred KB so most drawn plans
+    overflow L1 (the memo's ``heavy`` gate) and evictions, L2/L3
+    spills and cross-core sharing all occur.
+    """
+    n_handles = draw(st.integers(2, 8))
+    handles = [
+        DataHandle(f"h{i}", draw(st.integers(0, 7)),
+                   draw(st.integers(64, 400_000)))
+        for i in range(n_handles)
+    ]
+    n_tasks = draw(st.integers(1, 5))
+    tasks = []
+    for _ in range(n_tasks):
+        reads = tuple(
+            handles[draw(st.integers(0, n_handles - 1))]
+            for _ in range(draw(st.integers(1, 3)))
+        )
+        writes = tuple(
+            handles[draw(st.integers(0, n_handles - 1))]
+            for _ in range(draw(st.integers(0, 1)))
+        )
+        tasks.append(Task(0, "AXPY", reads, writes,
+                          {"rows": draw(st.integers(1, 10_000))}))
+    schedule = [
+        (draw(st.integers(0, n_tasks - 1)), draw(st.integers(0, 3)))
+        for _ in range(draw(st.integers(1, 12)))
+    ]
+    return tasks, schedule
+
+
+@given(task_workloads())
+@settings(max_examples=40, deadline=None)
+def test_memo_charges_and_state_bit_identical(workload):
+    tasks, schedule = workload
+    on_charges, on_state, _ = _charge_schedule(tasks, schedule,
+                                               disarm=False)
+    off_charges, off_state, _ = _charge_schedule(tasks, schedule,
+                                                 disarm=True)
+    assert on_charges == off_charges  # floats compared with ==
+    assert on_state == off_state
+
+
+def test_memo_hits_on_recurring_heavy_state_and_stays_exact():
+    """Sanity against vacuity: a recurring heavy schedule must actually
+    drive the memo through record + replay, still bit-identically."""
+    big = DataHandle("big", 0, 1 << 20)      # 1 MB: overflows L1+L2
+    aux = DataHandle("aux", 1, 200_000)
+    tasks = [
+        Task(0, "AXPY", (big, aux), (aux,), {"rows": 4096}),
+        Task(0, "AXPY", (aux,), (big,), {"rows": 2048}),
+    ]
+    schedule = [(0, 0), (1, 1), (0, 0)]
+    reset_charge_memo_stats()
+    on_charges, on_state, cm = _charge_schedule(tasks, schedule,
+                                                disarm=False)
+    cm.flush_memo_stats()
+    stats = charge_memo_stats()
+    assert stats["hits"] > 0, stats
+    off_charges, off_state, _ = _charge_schedule(tasks, schedule,
+                                                 disarm=True)
+    assert on_charges == off_charges
+    assert on_state == off_state
+
+
+# ---------------------------------------------------------------------------
+# Engine level: whole simulated runs, every task-parallel scheduler.
+
+def _observed(res) -> dict:
+    c = res.counters
+    return {
+        "total_time": res.total_time,
+        "iteration_times": list(res.iteration_times),
+        "l1_misses": c.l1_misses,
+        "l2_misses": c.l2_misses,
+        "l3_misses": c.l3_misses,
+        "tasks_executed": c.tasks_executed,
+        "busy_time": c.busy_time,
+        "compute_time": c.compute_time,
+        "memory_time": c.memory_time,
+    }
+
+
+@pytest.mark.parametrize("version", ["deepsparse", "hpx", "regent"])
+def test_engine_runs_identical_with_memo_killed(version, monkeypatch):
+    """iterations=4 with the steady-state replay disabled keeps every
+    iteration live, so the memo records during warm iterations and
+    replays in the later ones — and must change nothing."""
+    from repro.analysis.experiment import run_version
+
+    monkeypatch.setenv("REPRO_NO_STEADY_STATE", "1")
+    monkeypatch.delenv(_MEMO_ENV, raising=False)
+    on = run_version("broadwell", "inline1", "lanczos", version,
+                     block_count=32, iterations=4)
+    monkeypatch.setenv(_MEMO_ENV, "1")
+    off = run_version("broadwell", "inline1", "lanczos", version,
+                      block_count=32, iterations=4)
+    assert _observed(on) == _observed(off)
