@@ -1,8 +1,8 @@
 """Perf guard for the simulator hot path and the result cache.
 
-Six measurements, all recorded in a machine-readable ``BENCH_sim.json``
-(schema 2) at the repo root so the performance trajectory is tracked
-across PRs:
+Seven measurements, all recorded in a machine-readable
+``BENCH_sim.json`` (schema 2) at the repo root so the performance
+trajectory is tracked across PRs:
 
 1. **charge microbench** — ``CostModel.charge`` throughput over a
    prepared paper-scale DAG (the innermost simulator operation).
@@ -30,7 +30,11 @@ across PRs:
    iteration counts must run ≥ 5× faster with the iteration-replay
    fast path than with ``REPRO_NO_STEADY_STATE=1`` full simulation
    (recorded; asserted at a noise-tolerant 3.5×), bit-identically.
-6. **warm-cache speedup** — the same set served from the on-disk
+6. **fault-sweep cell** — one seeded core-loss plan over BSP and the
+   AMT runtimes: bit-identical on repeat, empty plan observationally
+   free, and the recovery-latency separation (BSP stalls, AMT absorbs)
+   recorded per version.
+7. **warm-cache speedup** — the same set served from the on-disk
    result cache must be ≥ 10× faster and bit-identical.
 
 Timing tests are inherently noisy on shared machines; each guard uses
@@ -365,6 +369,72 @@ def test_steady_state_speedup(monkeypatch):
     })
     assert identical
     assert speedup >= 3.5
+
+
+def test_fault_sweep_cell():
+    """Deterministic fault injection, recorded for the trajectory.
+
+    One seeded core-loss plan over the BSP baseline and the two AMT
+    runtimes pins the three promises of the fault layer: a repeated run
+    is bit-identical (the plan is the only randomness), an *empty* plan
+    is observationally free (healthy numbers untouched), and the
+    per-runtime recovery policies separate — BSP's barrier absorbs the
+    dead lane's share serially while work stealing / queue
+    redistribution barely notice.
+    """
+    from repro.analysis.experiment import run_version
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.from_spec("core-loss", seed=0)
+    versions = ("libcsb", "deepsparse", "hpx")
+
+    def cell(version, faults=None):
+        return run_version("broadwell", "inline1", "lanczos", version,
+                           block_count=48, iterations=8, faults=faults)
+
+    t0 = time.perf_counter()
+    faulted = {v: cell(v, plan) for v in versions}
+    dt = time.perf_counter() - t0
+    healthy = {v: cell(v) for v in versions}
+    repeat = cell("libcsb", plan)
+    deterministic = (repeat.summary().to_dict()
+                     == faulted["libcsb"].summary().to_dict())
+    empty_free = (cell("libcsb", FaultPlan.empty()).summary().to_dict()
+                  == healthy["libcsb"].summary().to_dict())
+
+    per_version = {}
+    for v in versions:
+        fr = faulted[v].fault_report
+        per_version[v] = {
+            "slowdown": faulted[v].total_time / healthy[v].total_time,
+            "recovery_latency_us": (None if fr.recovery_latency is None
+                                    else fr.recovery_latency * 1e6),
+            "stall_ms": fr.stall_time * 1e3,
+            "policy": fr.policy,
+        }
+    lat = {v: per_version[v]["recovery_latency_us"] for v in versions}
+    emit(f"fault sweep (core-loss seed 0): {dt:.2f}s, latency µs "
+         + ", ".join(f"{v} {lat[v]:.0f}" for v in versions)
+         + f", deterministic: {deterministic}")
+    _record("fault_sweep", {
+        "cell": {"machine": "broadwell", "matrix": "inline1",
+                 "solver": "lanczos", "block_count": 48,
+                 "iterations": 8},
+        "spec": "core-loss",
+        "seed": 0,
+        "seconds": dt,
+        "bit_identical_repeat": deterministic,
+        "empty_plan_observationally_free": empty_free,
+        "versions": per_version,
+    })
+    assert deterministic
+    assert empty_free
+    # The headline separation: BSP stalls, the AMT runtimes absorb.
+    assert lat["libcsb"] > 5 * abs(lat["deepsparse"])
+    assert lat["libcsb"] > 5 * abs(lat["hpx"])
+    assert per_version["libcsb"]["stall_ms"] > 0
+    assert per_version["deepsparse"]["stall_ms"] == 0
+    assert per_version["hpx"]["stall_ms"] == 0
 
 
 def test_warm_cache_speedup(tmp_path):

@@ -24,14 +24,15 @@ reproduced tables and figures.
 
 __version__ = "1.0.0"
 
-from repro import (matrices, kernels, graph, machine, sim, runtime, solvers,
-                   tuning, analysis)
+from repro import (matrices, kernels, graph, machine, faults, sim, runtime,
+                   solvers, tuning, analysis)
 
 __all__ = [
     "matrices",
     "kernels",
     "graph",
     "machine",
+    "faults",
     "sim",
     "runtime",
     "solvers",

@@ -94,6 +94,7 @@ def run_version(
     seed: int = 0,
     options=None,
     tracer=None,
+    faults=None,
     **runtime_overrides,
 ):
     """Run one solver version and return its :class:`RunResult`.
@@ -103,7 +104,9 @@ def run_version(
 
     ``tracer`` (optional :class:`repro.trace.Tracer`) attaches the
     observability layer to the execution; simulated numbers are
-    bit-identical with or without it.
+    bit-identical with or without it.  ``faults`` (optional
+    :class:`repro.faults.FaultPlan`) attaches deterministic fault
+    injection; an empty plan is bit-identical to ``faults=None``.
     """
     machine = get_machine(machine_name)
     spec = SUITE[matrix]
@@ -119,7 +122,8 @@ def run_version(
     if options is not None:
         rt.options = options
     dag = _dag(matrix, bs, solver, width, rt.options)
-    return rt.execute(dag, iterations=iterations, tracer=tracer)
+    return rt.execute(dag, iterations=iterations, tracer=tracer,
+                      faults=faults)
 
 
 def run_cell(

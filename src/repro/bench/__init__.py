@@ -24,6 +24,7 @@ from repro.bench.runner import (
     DEFAULT_MATRICES,
     ExperimentRunner,
     REGENT_BLOCK_COUNT,
+    SweepError,
     expand_grid,
     run_cell_config,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ExperimentRunner",
     "REGENT_BLOCK_COUNT",
     "ResultCache",
+    "SweepError",
     "cache_key",
     "default_cache",
     "expand_grid",

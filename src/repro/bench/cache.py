@@ -12,8 +12,12 @@ Properties the experiment pipeline relies on:
 * **Process-safe writes** — entries are written to a temp file in the
   same directory and ``os.replace``'d into place, so concurrent
   workers never expose a torn file.
-* **Corruption tolerance** — an unreadable or truncated entry is
-  treated as a miss (and removed), never an exception.
+* **Corruption tolerance** — an unreadable, truncated, or
+  checksum-failing entry is treated as a miss and *quarantined* (moved
+  aside to ``<root>/corrupt/`` for post-mortem), never an exception.
+* **Payload checksums** — every entry embeds the SHA-256 of its
+  canonical summary JSON; reads verify it, so silent on-disk
+  corruption that still parses as JSON is caught too.
 * **Bit-exact round trip** — floats survive via ``repr`` in JSON, so a
   warm-cache re-run returns byte-identical summaries.
 
@@ -43,7 +47,9 @@ __all__ = [
 ]
 
 #: Storage-schema version of one cache entry (bump on layout changes).
-ENTRY_FORMAT = 1
+#: v2 added the payload checksum; v1 entries are orphaned by the salt
+#: (never addressed again), not quarantined — they are not corrupt.
+ENTRY_FORMAT = 2
 
 #: Code fingerprint mixed into every key: cost-model semantics + entry
 #: schema.  Bumping either orphans old entries (they simply stop being
@@ -63,6 +69,13 @@ def cache_key(config: dict, salt: str = CACHE_SALT) -> str:
     """Content address of one cell config (stable across processes)."""
     payload = salt + "\n" + _canonical(config)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _payload_checksum(summary_dict: dict) -> str:
+    """SHA-256 of the canonical summary encoding (entry integrity)."""
+    return hashlib.sha256(
+        _canonical(summary_dict).encode("utf-8")
+    ).hexdigest()
 
 
 class ResultCache:
@@ -96,6 +109,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Entries moved to ``<root>/corrupt/`` by reads that found
+        #: them undecodable or checksum-failing (surfaced in the bench
+        #: summary line).
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def key(self, config: dict) -> str:
@@ -104,13 +121,33 @@ class ResultCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "corrupt")
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (best-effort, never raises)."""
+        try:
+            qdir = self.quarantine_dir()
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            self.quarantined += 1
+        except OSError:
+            # Fall back to plain removal; if even that fails the entry
+            # just stays and will be re-quarantined next read.
+            try:
+                os.unlink(path)
+                self.quarantined += 1
+            except OSError:
+                pass
+
     # ------------------------------------------------------------------
     def get(self, config: dict) -> Optional[RunResultSummary]:
         """Cached summary for ``config``, or ``None`` on a miss.
 
-        Corrupted entries (truncated writes, bad JSON, wrong schema)
-        are treated as misses and unlinked — a broken cache must never
-        break an experiment.
+        Corrupted entries (truncated writes, bad JSON, wrong schema,
+        checksum mismatch) are treated as misses and quarantined to
+        ``<root>/corrupt/`` — a broken cache must never break an
+        experiment, and the evidence is kept for post-mortem.
         """
         if not self.enabled:
             return None
@@ -120,16 +157,16 @@ class ResultCache:
                 entry = json.load(f)
             if entry.get("format") != ENTRY_FORMAT:
                 raise ValueError(f"entry format {entry.get('format')!r}")
-            summary = RunResultSummary.from_dict(entry["summary"])
+            payload = entry["summary"]
+            if entry.get("checksum") != _payload_checksum(payload):
+                raise ValueError("payload checksum mismatch")
+            summary = RunResultSummary.from_dict(payload)
         except FileNotFoundError:
             self.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
-            # Corrupted entry: drop it and report a miss.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            # Corrupted entry: quarantine it and report a miss.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -141,12 +178,14 @@ class ResultCache:
             return
         key = self.key(config)
         path = self.path_for(key)
+        payload = summary.to_dict()
         entry = {
             "format": ENTRY_FORMAT,
             "key": key,
             "salt": self.salt,
             "config": config,
-            "summary": summary.to_dict(),
+            "checksum": _payload_checksum(payload),
+            "summary": payload,
         }
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
@@ -194,6 +233,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
         }
 
     def __repr__(self):

@@ -18,9 +18,11 @@ into the caller's order, so ``--jobs 8`` returns exactly what
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -33,6 +35,7 @@ __all__ = [
     "DEFAULT_MATRICES",
     "ExperimentRunner",
     "REGENT_BLOCK_COUNT",
+    "SweepError",
     "expand_grid",
     "run_cell_config",
 ]
@@ -115,6 +118,26 @@ def _pool_worker(config: dict) -> tuple:
     return summary.to_dict(), time.perf_counter() - t0
 
 
+class SweepError(RuntimeError):
+    """A sweep finished with cells that failed every retry.
+
+    ``failures`` is a list of ``{"cell", "key", "attempts", "error"}``
+    dicts, one per exhausted cell, in first-appearance order; the
+    message renders them as a table.  Successfully simulated cells were
+    still cached before this was raised, so a re-run only repeats the
+    failed work.
+    """
+
+    def __init__(self, failures: List[dict]):
+        self.failures = failures
+        lines = [f"{len(failures)} cell(s) failed after retries:"]
+        for f in failures:
+            lines.append(
+                f"  {f['cell']}  attempts={f['attempts']}  {f['error']}"
+            )
+        super().__init__("\n".join(lines))
+
+
 class ExperimentRunner:
     """Expand → dedupe → cache-check → (parallel) simulate → report.
 
@@ -130,11 +153,39 @@ class ExperimentRunner:
         (``os.cpu_count()``).
     progress:
         Optional callable invoked with one line per completed cell.
+    timeout:
+        Per-cell wall-clock budget in seconds for pool execution
+        (``None`` = unlimited).  Scaled by the batch size per worker,
+        it bounds how long a wedged worker can hold the sweep; expired
+        cells are retried, then reported in the failure table.  Inline
+        execution cannot preempt a cell, so the timeout only applies
+        when a pool is used.
+    attempts:
+        Total tries per cell (default 2: one run + one retry) before
+        the cell lands in the failure table.
+    backoff:
+        Base of the exponential retry backoff in seconds (sleep
+        ``backoff * 2**(attempt-1)`` before re-trying).
+    pool_worker:
+        The per-cell execution callable, ``config -> (summary_dict,
+        seconds)``.  Injectable so the orchestration tests can run
+        against crashing/hanging workers; everything else should keep
+        the default.
     """
+
+    #: A crashed pool (a worker died, poisoning every queued future) is
+    #: rebuilt and the affected cells resubmitted — without charging
+    #: them a retry, since the crash cannot be attributed to one cell —
+    #: at most this many times before degrading to inline execution.
+    max_pool_rebuilds = 3
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  jobs: Optional[int] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 timeout: Optional[float] = None,
+                 attempts: int = 2,
+                 backoff: float = 0.25,
+                 pool_worker: Callable[[dict], tuple] = _pool_worker):
         self.cache = cache if cache is not None else default_cache()
         if jobs is None:
             jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
@@ -143,6 +194,10 @@ class ExperimentRunner:
             jobs = os.cpu_count() or 1
         self.jobs = max(1, jobs)
         self.progress = progress
+        self.timeout = timeout
+        self.attempts = max(1, int(attempts))
+        self.backoff = max(0.0, float(backoff))
+        self.pool_worker = pool_worker
         self.report: List[dict] = []
 
     # ------------------------------------------------------------------
@@ -193,21 +248,175 @@ class ExperimentRunner:
         return [results[k] for k in keys]
 
     def _run_misses(self, miss_keys, configs, labels, results) -> None:
-        if self.jobs > 1 and len(miss_keys) > 1:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                mapped = pool.map(
-                    _pool_worker, [configs[k] for k in miss_keys]
-                )
-                for key, (summary_dict, dt) in zip(miss_keys, mapped):
-                    summary = RunResultSummary.from_dict(summary_dict)
-                    self._finish_miss(key, configs, labels, results,
-                                      summary, dt)
+        """Simulate the cache misses, surviving sick workers.
+
+        Three layers of degradation, so one bad cell or one dead
+        worker never loses a whole sweep:
+
+        1. cells whose worker raised or timed out are retried with
+           exponential backoff, up to ``attempts`` tries each;
+        2. a crashed pool (``BrokenProcessPool``) is rebuilt and the
+           poisoned cells resubmitted, up to ``max_pool_rebuilds``;
+        3. if the pool stays unhealthy, the leftovers run inline,
+           sequentially, in this process.
+
+        Only cells that exhaust their attempts end up in the
+        :class:`SweepError` failure table — everything else was
+        simulated and cached before the raise.
+        """
+        attempt_count: Dict[str, int] = {k: 0 for k in miss_keys}
+        failures: Dict[str, str] = {}
+        pending = list(miss_keys)
+        if self.jobs > 1 and len(pending) > 1:
+            pending = self._run_pool(pending, attempt_count, failures,
+                                     configs, labels, results)
+        self._run_inline(pending, attempt_count, failures,
+                         configs, labels, results)
+        if failures:
+            raise SweepError([
+                {"cell": labels[k], "key": k,
+                 "attempts": attempt_count[k], "error": failures[k]}
+                for k in miss_keys if k in failures
+            ])
+
+    def _fail_or_requeue(self, key, exc_text, attempt_count, failures,
+                         next_pending) -> None:
+        attempt_count[key] += 1
+        if attempt_count[key] >= self.attempts:
+            failures[key] = exc_text
         else:
-            for key in miss_keys:
-                t0 = time.perf_counter()
-                summary = run_cell_config(configs[key])
+            next_pending.append(key)
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Tear a pool down even if its workers are wedged.
+
+        ``shutdown`` alone waits for running tasks; a cell stuck in an
+        infinite loop would hold the sweep forever, so the worker
+        processes are terminated first (``_processes`` is private API,
+        but the stdlib offers no public kill switch).
+        """
+        procs = getattr(pool, "_processes", None) or {}
+        for p in list(procs.values()):
+            try:
+                p.terminate()
+            except OSError:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _run_pool(self, pending, attempt_count, failures,
+                  configs, labels, results) -> List[str]:
+        """Pool execution rounds; returns cells left for inline."""
+        rebuilds = 0
+        rounds = 0
+        pool = None
+        try:
+            while pending:
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    except OSError:
+                        return pending  # can't fork: degrade to inline
+                if rounds and self.backoff:
+                    time.sleep(self.backoff * 2 ** min(rounds - 1, 4))
+                rounds += 1
+                futs = {
+                    pool.submit(self.pool_worker, configs[k]): k
+                    for k in pending
+                }
+                next_pending: List[str] = []
+                deadline = None
+                if self.timeout is not None:
+                    # Per-cell budget scaled by queue depth per worker:
+                    # a full batch legitimately takes n/jobs cell-times.
+                    batches = max(1, math.ceil(len(pending) / self.jobs))
+                    deadline = time.monotonic() + self.timeout * batches
+                not_done = set(futs)
+                broken = False
+                while not_done:
+                    budget = None
+                    if deadline is not None:
+                        budget = max(0.0, deadline - time.monotonic())
+                    done, not_done = wait(not_done, timeout=budget)
+                    if not done:
+                        # Batch deadline expired: whatever is still
+                        # running is wedged.  Kill the pool, charge the
+                        # unfinished cells one attempt each.
+                        for f in not_done:
+                            f.cancel()
+                            self._fail_or_requeue(
+                                futs[f],
+                                f"timed out (> {self.timeout:.1f} s/cell)",
+                                attempt_count, failures, next_pending,
+                            )
+                        self._kill_pool(pool)
+                        pool = None
+                        broken = True
+                        break
+                    for f in done:
+                        key = futs[f]
+                        try:
+                            summary_dict, dt = f.result()
+                        except BrokenProcessPool:
+                            # A worker died; every queued future is
+                            # poisoned and none of them is to blame.
+                            # Requeue without charging an attempt.
+                            next_pending.append(key)
+                            broken = True
+                        except Exception as e:  # clean worker failure
+                            self._fail_or_requeue(
+                                key, f"{type(e).__name__}: {e}",
+                                attempt_count, failures, next_pending,
+                            )
+                        else:
+                            summary = RunResultSummary.from_dict(
+                                summary_dict
+                            )
+                            self._finish_miss(key, configs, labels,
+                                              results, summary, dt)
+                if broken and pool is not None:
+                    self._kill_pool(pool)
+                    pool = None
+                if broken:
+                    rebuilds += 1
+                    if rebuilds > self.max_pool_rebuilds:
+                        self._note(
+                            "[pool]  unhealthy after "
+                            f"{rebuilds - 1} rebuilds; degrading to "
+                            "inline execution"
+                        )
+                        return next_pending
+                pending = next_pending
+            return []
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_inline(self, pending, attempt_count, failures,
+                    configs, labels, results) -> None:
+        """Sequential in-process execution with the same retry rules."""
+        for key in pending:
+            while True:
+                try:
+                    summary_dict, dt = self.pool_worker(configs[key])
+                    summary = RunResultSummary.from_dict(summary_dict)
+                except Exception as e:
+                    attempt_count[key] += 1
+                    if attempt_count[key] >= self.attempts:
+                        failures[key] = f"{type(e).__name__}: {e}"
+                        break
+                    if self.backoff:
+                        time.sleep(
+                            self.backoff
+                            * 2 ** min(attempt_count[key] - 1, 4)
+                        )
+                    continue
                 self._finish_miss(key, configs, labels, results,
-                                  summary, time.perf_counter() - t0)
+                                  summary, dt)
+                break
 
     def _finish_miss(self, key, configs, labels, results, summary,
                      dt) -> None:
@@ -235,6 +444,13 @@ class ExperimentRunner:
             f"{getattr(self, 'total_seconds', 0.0):.2f} s wall, "
             f"jobs={self.jobs})",
         ]
+        quarantined = getattr(self.cache, "quarantined", 0)
+        if quarantined:
+            lines.append(
+                f"  warning: {quarantined} corrupt cache entr"
+                f"{'y' if quarantined == 1 else 'ies'} quarantined to "
+                f"{self.cache.quarantine_dir()}"
+            )
         slowest = sorted(
             (r for r in self.report if not r["cached"]),
             key=lambda r: -r["seconds"],

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the simulated runtimes.
+
+The paper evaluates the runtimes on a healthy machine; this package
+adds the degraded-machine axis: frequency-derated (slow) cores, cores
+that die outright at an iteration barrier, and transient task faults
+that force re-execution with backoff.  Everything is derived from a
+:class:`FaultPlan` — a frozen value built from a named spec plus an
+integer seed — so a faulted run is exactly as reproducible as a
+healthy one: the same plan produces bit-identical results across
+processes and platforms.
+
+* :mod:`repro.faults.plan` — the plan vocabulary (:class:`SlowCore`,
+  :class:`CoreLoss`, :class:`TaskFaults`, :class:`FaultPlan`) and the
+  deterministic hash every stochastic decision is drawn from.
+* :mod:`repro.faults.specs` — the named spec registry behind
+  ``FaultPlan.from_spec`` and the ``repro chaos`` CLI.
+* :mod:`repro.faults.state` — :class:`FaultState`, the per-run mutable
+  companion the engines thread through their event loops.
+* :mod:`repro.faults.report` — :class:`FaultReport`, the serializable
+  per-run outcome surfaced as ``RunResult.fault_report``.
+
+Attaching an *empty* plan is indistinguishable from attaching none:
+``FaultPlan.state`` returns ``None`` and the engines take their
+unmodified (bit-identical) hot paths.
+"""
+
+from repro.faults.plan import (
+    CoreLoss,
+    FaultPlan,
+    SlowCore,
+    TaskFaults,
+    fault_hash,
+)
+from repro.faults.report import RECOVERY_POLICIES, FaultReport
+from repro.faults.specs import FAULT_SPECS, make_plan
+from repro.faults.state import FaultState
+
+__all__ = [
+    "CoreLoss",
+    "FAULT_SPECS",
+    "FaultPlan",
+    "FaultReport",
+    "FaultState",
+    "RECOVERY_POLICIES",
+    "SlowCore",
+    "TaskFaults",
+    "fault_hash",
+    "make_plan",
+]

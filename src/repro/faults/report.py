@@ -1,0 +1,105 @@
+"""Per-run fault outcome: what was injected, what it cost, how the
+runtime recovered.
+
+The report is a plain serializable value attached to ``RunResult`` /
+``RunResultSummary`` as ``fault_report`` — absent (None) on healthy
+runs so existing artifacts and cache entries keep their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["RECOVERY_POLICIES", "FaultReport"]
+
+
+# How each simulated runtime absorbs a lost lane.  These mirror the
+# documented behaviour of the real systems the paper measures:
+#
+# * DeepSparse's persistent workers own LIFO deques and steal from the
+#   deepest deque when theirs runs dry (paper §3.1 / SparseML runtime
+#   notes) — a dead lane's share is drained by its peers with no
+#   central action.
+# * HPX schedulers keep per-NUMA-domain ready queues with work
+#   requesting across domains (HPX docs, thread-scheduling policies;
+#   "Quantifying Overheads in Charm++ and HPX using Task Bench") — on
+#   lane loss its queue is redistributed, falling back to the nearest
+#   live domain when the NUMA hint can no longer be honoured.
+# * Regent/Legion dedicates utility cores to the mapper/runtime
+#   (Legion mapper interface docs) — a lost worker lane is replaced by
+#   promoting a utility core into the worker pool, trading runtime
+#   headroom for restored width.
+# * The BSP baselines (libcsr/libcsb) have no runtime: a dead lane's
+#   phase share simply never arrives at the barrier, modeling the
+#   no-recovery worst case (the iteration stalls until the share is
+#   re-run serially).
+RECOVERY_POLICIES = {
+    "deepsparse": "work stealing drains the dead lane's deque",
+    "hpx": "ready-queue redistribution with NUMA-hint fallback",
+    "regent": "utility-core promotion restores worker width",
+    "libcsr": "none: barrier stalls, dead lane's share re-run serially",
+    "libcsb": "none: barrier stalls, dead lane's share re-run serially",
+    "bsp": "none: barrier stalls, dead lane's share re-run serially",
+}
+
+
+@dataclass
+class FaultReport:
+    """Serializable summary of one faulted run.
+
+    ``core_losses`` rows are ``[core, at, recovery_latency]`` where the
+    latency is the extra time the death iteration took versus the
+    iteration immediately before it (None when the death happened at
+    iteration 0 or past the end of the run) — a direct measure of how
+    gracefully the runtime absorbed the loss.
+    """
+
+    spec: str = "none"
+    seed: int = 0
+    policy: str = ""
+    slow_cores: List[List[float]] = field(default_factory=list)
+    core_losses: List[List[Optional[float]]] = field(default_factory=list)
+    retries: int = 0
+    abandoned: int = 0
+    re_executed_time: float = 0.0
+    backoff_time: float = 0.0
+    slow_time: float = 0.0
+    stall_time: float = 0.0
+
+    @property
+    def recovery_latency(self) -> Optional[float]:
+        """Worst recovery latency across all core losses, if measurable."""
+        latencies = [row[2] for row in self.core_losses if row[2] is not None]
+        return max(latencies) if latencies else None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "seed": self.seed,
+            "policy": self.policy,
+            "slow_cores": [list(r) for r in self.slow_cores],
+            "core_losses": [list(r) for r in self.core_losses],
+            "retries": self.retries,
+            "abandoned": self.abandoned,
+            "re_executed_time": self.re_executed_time,
+            "backoff_time": self.backoff_time,
+            "slow_time": self.slow_time,
+            "stall_time": self.stall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultReport":
+        return cls(
+            spec=d.get("spec", "none"),
+            seed=int(d.get("seed", 0)),
+            policy=d.get("policy", ""),
+            slow_cores=[list(r) for r in d.get("slow_cores", ())],
+            core_losses=[list(r) for r in d.get("core_losses", ())],
+            retries=int(d.get("retries", 0)),
+            abandoned=int(d.get("abandoned", 0)),
+            re_executed_time=float(d.get("re_executed_time", 0.0)),
+            backoff_time=float(d.get("backoff_time", 0.0)),
+            slow_time=float(d.get("slow_time", 0.0)),
+            stall_time=float(d.get("stall_time", 0.0)),
+        )

@@ -76,21 +76,25 @@ class Runtime:
         )
 
     def execute(self, dag: TaskDAG, iterations: int = 1,
-                tracer=None) -> RunResult:
+                tracer=None, faults=None) -> RunResult:
         """Run the DAG for ``iterations`` barriered repetitions.
 
         ``tracer`` (optional :class:`repro.trace.Tracer`) attaches the
         observability layer; results are bit-identical either way.
+        ``faults`` (optional :class:`repro.faults.FaultPlan`) attaches
+        deterministic fault injection; an empty plan is bit-identical
+        to ``faults=None``.
         """
         raise NotImplementedError
 
     def run(
         self, matrix, calls, chunked, small, iterations: int = 1,
-        matrix_name: str = "A", tracer=None,
+        matrix_name: str = "A", tracer=None, faults=None,
     ) -> RunResult:
         """Build + execute in one step (the common benchmark path)."""
         dag = self.build_dag(matrix, calls, chunked, small, matrix_name)
-        return self.execute(dag, iterations=iterations, tracer=tracer)
+        return self.execute(dag, iterations=iterations, tracer=tracer,
+                            faults=faults)
 
     def __repr__(self):
         return f"{type(self).__name__}({self.machine.name})"

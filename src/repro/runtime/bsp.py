@@ -59,7 +59,8 @@ class BSPRuntime(Runtime):
         self.flavor = flavor
         self.name = flavor
 
-    def execute(self, dag, iterations: int = 1, tracer=None) -> RunResult:
+    def execute(self, dag, iterations: int = 1, tracer=None,
+                faults=None) -> RunResult:
         return run_bsp(
             self.machine,
             dag,
@@ -67,4 +68,5 @@ class BSPRuntime(Runtime):
             first_touch=self.first_touch,
             flavor=self.flavor,
             tracer=tracer,
+            faults=faults,
         )

@@ -43,9 +43,11 @@ class DeepSparseRuntime(Runtime):
             spawn_cost=self.spawn_cost,
         )
 
-    def execute(self, dag, iterations: int = 1, tracer=None) -> RunResult:
+    def execute(self, dag, iterations: int = 1, tracer=None,
+                faults=None) -> RunResult:
         engine = SimulationEngine(
             self.machine, first_touch=self.first_touch, seed=self.seed
         )
         return engine.run(dag, self.make_scheduler(),
-                          iterations=iterations, tracer=tracer)
+                          iterations=iterations, tracer=tracer,
+                          faults=faults)

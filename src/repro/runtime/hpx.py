@@ -50,9 +50,11 @@ class HPXRuntime(Runtime):
             shuffle_window=self.shuffle_window,
         )
 
-    def execute(self, dag, iterations: int = 1, tracer=None) -> RunResult:
+    def execute(self, dag, iterations: int = 1, tracer=None,
+                faults=None) -> RunResult:
         engine = SimulationEngine(
             self.machine, first_touch=self.first_touch, seed=self.seed
         )
         return engine.run(dag, self.make_scheduler(),
-                          iterations=iterations, tracer=tracer)
+                          iterations=iterations, tracer=tracer,
+                          faults=faults)

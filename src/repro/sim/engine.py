@@ -21,12 +21,13 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.faults.report import FaultReport
 from repro.graph.dag import TaskDAG
 from repro.machine.cache import CacheHierarchy
 from repro.machine.memory import MemoryModel
 from repro.machine.perf import PerfCounters
 from repro.machine.topology import MachineSpec
-from repro.sim.cost import CostModel
+from repro.sim.cost import CostModel, apply_core_derate
 from repro.sim.flowgraph import FlowGraph, FlowSummary
 from repro.sim.schedulers import Scheduler
 
@@ -79,6 +80,9 @@ class RunResult:
     #: when every iteration was simulated (fast path disabled, never
     #: detected, or the run is too short to arm it).
     steady_state_at: Optional[int] = None
+    #: :class:`repro.faults.FaultReport` when the run executed under a
+    #: non-empty fault plan; ``None`` on healthy runs.
+    fault_report: Optional[FaultReport] = None
 
     @property
     def time_per_iteration(self) -> float:
@@ -101,6 +105,7 @@ class RunResult:
             n_cores=self.n_cores,
             n_tasks_per_iteration=self.n_tasks_per_iteration,
             steady_state_at=self.steady_state_at,
+            fault_report=self.fault_report,
         )
 
 
@@ -127,6 +132,9 @@ class RunResultSummary:
     #: default so summaries serialized before the fast path existed
     #: (older on-disk result caches) still deserialize.
     steady_state_at: Optional[int] = None
+    #: See :attr:`RunResult.fault_report`; ``None``-default for the
+    #: same backward-compatibility reason.
+    fault_report: Optional[FaultReport] = None
 
     @property
     def time_per_iteration(self) -> float:
@@ -150,11 +158,15 @@ class RunResultSummary:
             "n_cores": self.n_cores,
             "n_tasks_per_iteration": self.n_tasks_per_iteration,
             "steady_state_at": self.steady_state_at,
+            "fault_report": None
+            if self.fault_report is None
+            else self.fault_report.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResultSummary":
         ss = d.get("steady_state_at")
+        fr = d.get("fault_report")
         return cls(
             machine=str(d["machine"]),
             policy=str(d["policy"]),
@@ -165,6 +177,7 @@ class RunResultSummary:
             n_cores=int(d["n_cores"]),
             n_tasks_per_iteration=int(d["n_tasks_per_iteration"]),
             steady_state_at=None if ss is None else int(ss),
+            fault_report=None if fr is None else FaultReport.from_dict(fr),
         )
 
 
@@ -213,8 +226,19 @@ class SimulationEngine:
         record_flow: bool = True,
         steady_state: Optional[bool] = None,
         tracer=None,
+        faults=None,
     ) -> RunResult:
         """Execute ``iterations`` barriered repetitions of the DAG.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`, default off)
+        attaches deterministic fault injection: per-core frequency
+        derates, core losses at iteration barriers (recovered per the
+        scheduler's policy), and transient task faults re-executed with
+        backoff charged to the simulated clock.  An empty plan resolves
+        to no :class:`~repro.faults.FaultState` and the run is
+        bit-identical to ``faults=None``; an active plan disarms the
+        steady-state fast path (a degraded machine has no certified
+        fixed point) and surfaces ``RunResult.fault_report``.
 
         ``tracer`` (a :class:`repro.trace.Tracer`, default off) attaches
         the observability layer: per-task events on worker lanes,
@@ -262,9 +286,10 @@ class SimulationEngine:
             scheduler.tracer = tracer
             self.cache.trace_hook = tracer._on_cache_access
         ttask = tracer.task if tracer is not None else None
+        fs = faults.state(self.machine) if faults is not None else None
         # Detection needs two comparable warm iterations after the cold
         # one, so runs shorter than 4 iterations take the plain loop.
-        armed = bool(steady_state) and iterations >= 4
+        armed = bool(steady_state) and iterations >= 4 and fs is None
         clock = 0.0
         iteration_times: List[float] = []
         steady_state_at = None
@@ -274,6 +299,26 @@ class SimulationEngine:
         while it < iterations:
             t0 = clock
             scheduler.reset_iteration(it, t0)
+            if fs is not None:
+                newly_dead, newly_slow = fs.begin_iteration(it)
+                for c in newly_dead:
+                    scheduler.on_core_loss(c, t0)
+                    if tracer is not None:
+                        tracer.fault(t0, c, "core-loss")
+                if tracer is not None:
+                    for c in newly_slow:
+                        tracer.fault(t0, c, "slow-onset",
+                                     detail=fs.factor(c))
+                end = self._run_iteration_faulted(
+                    dag, scheduler, counters, flow, it, t0, ttask, fs
+                )
+                clock = end + barrier_cost
+                iteration_times.append(clock - t0)
+                if tracer is not None:
+                    tracer.sample_machine(it, end, self.cache, self.memory)
+                    tracer.barrier(it, t0, end, clock)
+                it += 1
+                continue
             if not armed:
                 end = self._run_iteration(
                     dag, scheduler, counters, flow, it, t0, ttask
@@ -326,6 +371,15 @@ class SimulationEngine:
         # aggregate (the engine object is per-execute, so the counters
         # would otherwise be unobservable from benchmark code).
         self.cost.flush_memo_stats()
+        fault_report = None
+        if fs is not None:
+            fault_report = fs.finalize(scheduler.name,
+                                       tuple(iteration_times))
+            if tracer is not None:
+                for core, at, latency in fault_report.core_losses:
+                    if latency is not None:
+                        tracer.recovery(sum(iteration_times[: at + 1]),
+                                        core, latency)
         return RunResult(
             machine=self.machine.name,
             policy=scheduler.name,
@@ -336,6 +390,7 @@ class SimulationEngine:
             n_cores=self.machine.n_cores,
             n_tasks_per_iteration=len(dag),
             steady_state_at=steady_state_at,
+            fault_report=fault_report,
         )
 
     # ------------------------------------------------------------------
@@ -444,6 +499,209 @@ class SimulationEngine:
                 )
             while finish_heap and finish_heap[0][0] <= time + _EPS:
                 _, core, tid = heappop(finish_heap)
+                idle[core] = 1
+                n_idle += 1
+                completed += 1
+                scheduler.on_complete(tid, core)
+                for v in succ[tid]:
+                    indeg[v] -= 1
+                    if indeg[v] == 0:
+                        rt = release_time(v, t0)
+                        if rt < time:
+                            rt = time
+                        heappush(release_heap, (rt, v, core))
+        counters.tasks_executed = n_exec
+        counters.busy_time = busy_t
+        counters.overhead_time = ovh_t
+        counters.compute_time = comp_t
+        counters.memory_time = mem_t
+        counters.l1_misses = l1m
+        counters.l2_misses = l2m
+        counters.l3_misses = l3m
+        return time
+
+    # ------------------------------------------------------------------
+    def _run_iteration_faulted(self, dag, scheduler, counters, flow, it,
+                               t0, ttask, fs) -> float:
+        """:meth:`_run_iteration` under an active :class:`FaultState`.
+
+        A separate twin rather than flags in the hot loop: the healthy
+        path must stay byte-for-byte untouched (the bit-identity
+        contract), and the faulted path wants its own structure — dead
+        cores never enter the idle scan, derates stretch each charge's
+        compute component, and a completion may be poisoned and
+        re-queued instead of releasing its successors.
+        """
+        n = len(dag)
+        if n == 0:
+            return t0
+        indeg = dag.in_degrees()
+        release_heap = []
+        for tid, d in enumerate(indeg):
+            if d == 0:
+                heapq.heappush(
+                    release_heap, (scheduler.release_time(tid, t0), tid, -1)
+                )
+        finish_heap = []  # (time, core, tid)
+        n_cores = self.machine.n_cores
+        # Dead lanes start (and stay) busy: they are simply never
+        # scanned for work, which is the engine half of every policy's
+        # recovery story.
+        idle = bytearray(
+            0 if fs.dead(c) else 1 for c in range(n_cores)
+        )
+        n_idle = sum(idle)
+        derates = fs.derates
+        rate = fs.rate
+        budget = fs.budget
+        attempts: dict = {}  # tid -> failed attempts this iteration
+        tracer = scheduler.tracer
+        completed = 0
+        time = t0
+        tasks = dag.tasks
+        succ = dag.succ
+        charge = self.cost.charge
+        pick = scheduler.pick
+        overhead_of = scheduler.overhead
+        has_ready = scheduler.has_ready
+        release_time = scheduler.release_time
+        record_flow = flow.record if flow is not None else None
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        n_exec = counters.tasks_executed
+        busy_t = counters.busy_time
+        ovh_t = counters.overhead_time
+        comp_t = counters.compute_time
+        mem_t = counters.memory_time
+        l1m = counters.l1_misses
+        l2m = counters.l2_misses
+        l3m = counters.l3_misses
+        ktime = counters.kernel_time
+        ktasks = counters.kernel_tasks
+        ktime_get = ktime.get
+        ktasks_get = ktasks.get
+        while completed < n:
+            while release_heap and release_heap[0][0] <= time + _EPS:
+                _, tid, enabler = heappop(release_heap)
+                scheduler.on_ready(tid, time,
+                                   enabler if enabler >= 0 else None)
+            assigned = False
+            if n_idle and has_ready():
+                for core in range(n_cores):
+                    if not idle[core]:
+                        continue
+                    tid = pick(core, time)
+                    if tid is None:
+                        continue
+                    task = tasks[tid]
+                    overhead = overhead_of(tid)
+                    dur, compute, memory_t, (m1, m2, m3) = charge(task, core)
+                    if derates is not None and derates[core] != 1.0:
+                        f = derates[core]
+                        dur, compute, extra = apply_core_derate(
+                            dur, compute, f
+                        )
+                        ovh_extra = overhead * (f - 1.0)
+                        overhead += ovh_extra
+                        fs.slow_time += extra + ovh_extra
+                    dur += overhead
+                    heappush(finish_heap, (time + dur, core, tid))
+                    kernel = task.kernel
+                    n_exec += 1
+                    busy_t += dur
+                    ovh_t += overhead
+                    comp_t += compute
+                    mem_t += memory_t
+                    l1m += m1
+                    l2m += m2
+                    l3m += m3
+                    ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                    ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                    if record_flow is not None:
+                        record_flow(tid, kernel, core, time,
+                                    time + dur, it)
+                    if ttask is not None:
+                        ttask(tid, kernel, core, time, time + dur, it,
+                              overhead, compute, memory_t, m1, m2, m3)
+                    idle[core] = 0
+                    n_idle -= 1
+                    assigned = True
+                    if not has_ready():
+                        break
+            if assigned:
+                continue
+            if finish_heap:
+                time = finish_heap[0][0]
+                if n_idle and release_heap and release_heap[0][0] < time:
+                    time = release_heap[0][0]
+            elif n_idle and release_heap:
+                time = release_heap[0][0]
+            else:
+                raise RuntimeError(
+                    "simulation deadlock: tasks remain but no events pending"
+                )
+            while finish_heap and finish_heap[0][0] <= time + _EPS:
+                ftime, core, tid = heappop(finish_heap)
+                if rate > 0.0:
+                    a = attempts.get(tid, 0)
+                    if fs.task_fails(it, tid, a):
+                        if a < budget:
+                            # Poisoned result: re-execute on the same
+                            # core after exponential backoff; the core
+                            # stays busy and the successors stay
+                            # unreleased until a clean attempt lands.
+                            attempts[tid] = a + 1
+                            backoff = fs.backoff_seconds(a)
+                            task = tasks[tid]
+                            overhead = overhead_of(tid)
+                            dur, compute, memory_t, (m1, m2, m3) = charge(
+                                task, core
+                            )
+                            if (derates is not None
+                                    and derates[core] != 1.0):
+                                f = derates[core]
+                                dur, compute, extra = apply_core_derate(
+                                    dur, compute, f
+                                )
+                                ovh_extra = overhead * (f - 1.0)
+                                overhead += ovh_extra
+                                fs.slow_time += extra + ovh_extra
+                            dur += overhead
+                            start2 = ftime + backoff
+                            heappush(finish_heap,
+                                     (start2 + dur, core, tid))
+                            kernel = task.kernel
+                            n_exec += 1
+                            busy_t += dur
+                            ovh_t += overhead
+                            comp_t += compute
+                            mem_t += memory_t
+                            l1m += m1
+                            l2m += m2
+                            l3m += m3
+                            ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                            ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                            fs.retries += 1
+                            fs.re_executed_time += dur
+                            fs.backoff_time += backoff
+                            if record_flow is not None:
+                                record_flow(tid, kernel, core, start2,
+                                            start2 + dur, it)
+                            if ttask is not None:
+                                ttask(tid, kernel, core, start2,
+                                      start2 + dur, it, overhead,
+                                      compute, memory_t, m1, m2, m3)
+                            if tracer is not None:
+                                tracer.fault(ftime, core, "task-retry",
+                                             tid, float(a + 1))
+                            continue
+                        # Budget exhausted: abandon (solver falls back
+                        # to the stale iterate for this block) so the
+                        # DAG still completes.
+                        fs.abandoned += 1
+                        if tracer is not None:
+                            tracer.fault(ftime, core, "task-abandoned",
+                                         tid, float(a))
                 idle[core] = 1
                 n_idle += 1
                 completed += 1
@@ -752,6 +1010,7 @@ def run_bsp(
     nnz_balanced: bool = False,
     steady_state: Optional[bool] = None,
     tracer=None,
+    faults=None,
 ) -> RunResult:
     """Phase-parallel (fork-join) execution of the same DAG.
 
@@ -769,6 +1028,15 @@ def run_bsp(
     cache — the schedule here is static, so the replay *is* the full
     per-iteration computation minus the ``charge`` calls, and results
     are bit-identical by construction.
+
+    ``faults`` attaches a :class:`repro.faults.FaultPlan`.  BSP has no
+    runtime to recover a lost lane: the dead lane's share (and any live
+    task transitively depending on it) misses the barrier and is re-run
+    serially on the lowest surviving core while everyone stalls — the
+    no-recovery worst case the AMT policies are compared against.  An
+    empty plan is bit-identical to ``faults=None``; an active one
+    disarms the steady-state fast path and fills
+    ``RunResult.fault_report``.
     """
     if barrier_cost is None:
         barrier_cost = _default_barrier_cost(machine.n_cores)
@@ -868,13 +1136,175 @@ def run_bsp(
     ktasks_get = ktasks.get
     if steady_state is None:
         steady_state = _steady_state_enabled()
-    armed = bool(steady_state) and iterations >= 4
+    fs = faults.state(machine) if faults is not None else None
+    armed = bool(steady_state) and iterations >= 4 and fs is None
     steady_state_at = None
     prev_fp = None
     prev_charges = None
     clock = 0.0
     iteration_times = []
     it = 0
+    while fs is not None and it < iterations:
+        # Faulted BSP iteration: there is no runtime to recover a dead
+        # lane, so its statically-assigned share never reaches the
+        # barrier on time — the phase stalls, and the share (plus any
+        # live-lane task transitively depending on it) is re-run
+        # serially on the lowest surviving core, the paper's worst-case
+        # no-recovery model.  A separate loop so the healthy path below
+        # stays byte-for-byte untouched.
+        t0 = clock
+        newly_dead, newly_slow = fs.begin_iteration(it)
+        if tracer is not None:
+            for c in newly_dead:
+                tracer.fault(t0, c, "core-loss")
+            for c in newly_slow:
+                tracer.fault(t0, c, "slow-onset", detail=fs.factor(c))
+        derates = fs.derates
+        rate = fs.rate
+        budget = fs.budget
+        rcore = fs.recovery_core
+        for assignment in phase_assignments:
+            core_clock = [clock] * n_cores
+            phase_end: dict = {}
+            deferred: List[int] = []
+            deferred_set: set = set()
+            for tid, core in assignment:
+                if fs.dead(core) or (
+                    deferred_set
+                    and any(p in deferred_set for p in pred[tid])
+                ):
+                    # Cascade: a live lane's task whose producer is
+                    # stuck behind the dead lane stalls with it.
+                    deferred.append(tid)
+                    deferred_set.add(tid)
+                    continue
+                task = tasks[tid]
+                start = core_clock[core]
+                for p in pred[tid]:
+                    e = phase_end.get(p)
+                    if e is not None and e > start:
+                        start = e
+                attempt = 0
+                while True:
+                    dur, compute, memory_t, (m1, m2, m3) = charge(
+                        task, core
+                    )
+                    lo = loop_overhead
+                    if derates is not None and derates[core] != 1.0:
+                        f = derates[core]
+                        dur, compute, extra = apply_core_derate(
+                            dur, compute, f
+                        )
+                        lo_extra = lo * (f - 1.0)
+                        lo += lo_extra
+                        fs.slow_time += extra + lo_extra
+                    dur += lo
+                    end = start + dur
+                    kernel = task.kernel
+                    n_exec += 1
+                    busy_t += dur
+                    ovh_t += lo
+                    comp_t += compute
+                    mem_t += memory_t
+                    l1m += m1
+                    l2m += m2
+                    l3m += m3
+                    ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                    ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                    if frecord is not None:
+                        frecord(tid, kernel, core, start, end, it)
+                    if ttask is not None:
+                        ttask(tid, kernel, core, start, end, it,
+                              lo, compute, memory_t, m1, m2, m3)
+                    if attempt > 0:
+                        fs.re_executed_time += dur
+                    if rate > 0.0 and fs.task_fails(it, tid, attempt):
+                        if attempt < budget:
+                            backoff = fs.backoff_seconds(attempt)
+                            fs.retries += 1
+                            fs.backoff_time += backoff
+                            if tracer is not None:
+                                tracer.fault(end, core, "task-retry",
+                                             tid, float(attempt + 1))
+                            start = end + backoff
+                            attempt += 1
+                            continue
+                        fs.abandoned += 1
+                        if tracer is not None:
+                            tracer.fault(end, core, "task-abandoned",
+                                         tid, float(attempt))
+                    break
+                core_clock[core] = end
+                phase_end[tid] = end
+            phase_close = max(core_clock)
+            if deferred:
+                # Serial catch-up on the recovery core after everyone
+                # else has hit the barrier.
+                start = phase_close
+                for tid in deferred:
+                    task = tasks[tid]
+                    attempt = 0
+                    while True:
+                        dur, compute, memory_t, (m1, m2, m3) = charge(
+                            task, rcore
+                        )
+                        lo = loop_overhead
+                        if derates is not None and derates[rcore] != 1.0:
+                            f = derates[rcore]
+                            dur, compute, extra = apply_core_derate(
+                                dur, compute, f
+                            )
+                            lo_extra = lo * (f - 1.0)
+                            lo += lo_extra
+                            fs.slow_time += extra + lo_extra
+                        dur += lo
+                        end = start + dur
+                        kernel = task.kernel
+                        n_exec += 1
+                        busy_t += dur
+                        ovh_t += lo
+                        comp_t += compute
+                        mem_t += memory_t
+                        l1m += m1
+                        l2m += m2
+                        l3m += m3
+                        ktime[kernel] = ktime_get(kernel, 0.0) + dur
+                        ktasks[kernel] = ktasks_get(kernel, 0) + 1
+                        if frecord is not None:
+                            frecord(tid, kernel, rcore, start, end, it)
+                        if ttask is not None:
+                            ttask(tid, kernel, rcore, start, end, it,
+                                  lo, compute, memory_t, m1, m2, m3)
+                        if attempt > 0:
+                            fs.re_executed_time += dur
+                        if rate > 0.0 and fs.task_fails(it, tid, attempt):
+                            if attempt < budget:
+                                backoff = fs.backoff_seconds(attempt)
+                                fs.retries += 1
+                                fs.backoff_time += backoff
+                                if tracer is not None:
+                                    tracer.fault(end, rcore,
+                                                 "task-retry", tid,
+                                                 float(attempt + 1))
+                                start = end + backoff
+                                attempt += 1
+                                continue
+                            fs.abandoned += 1
+                            if tracer is not None:
+                                tracer.fault(end, rcore,
+                                             "task-abandoned", tid,
+                                             float(attempt))
+                        break
+                    phase_end[tid] = end
+                    start = end
+                fs.stall_time += start - phase_close
+                phase_close = start
+            clock = phase_close + barrier_cost
+        iteration_times.append(clock - t0)
+        if tracer is not None:
+            tracer.sample_machine(it, clock - barrier_cost, cache, memory)
+            tracer.barrier(it, t0, clock - barrier_cost, clock)
+        it += 1
     while it < iterations:
         t0 = clock
         charges = [] if armed else None
@@ -988,6 +1418,14 @@ def run_bsp(
     if tracer is not None:
         cache.trace_hook = None
     cost.flush_memo_stats()
+    fault_report = None
+    if fs is not None:
+        fault_report = fs.finalize(flavor, tuple(iteration_times))
+        if tracer is not None:
+            for core, at, latency in fault_report.core_losses:
+                if latency is not None:
+                    tracer.recovery(sum(iteration_times[: at + 1]),
+                                    core, latency)
     return RunResult(
         machine=machine.name,
         policy=flavor,
@@ -998,4 +1436,5 @@ def run_bsp(
         n_cores=n_cores,
         n_tasks_per_iteration=len(dag),
         steady_state_at=steady_state_at,
+        fault_report=fault_report,
     )

@@ -83,9 +83,22 @@ class Scheduler:
         self.memory = memory
         self.rng = np.random.default_rng(seed)
         self._queue = deque()
+        self._dead_cores = set()
 
     def reset_iteration(self, iteration: int, iter_start: float) -> None:
         """Called at each iteration boundary (barrier)."""
+
+    def on_core_loss(self, core: int, time: float) -> None:
+        """A lane died (fault injection): stop handing it work.
+
+        The base bookkeeping just records the loss — the engine never
+        polls a dead core again.  Policies with per-core structures
+        override this to enact their documented recovery
+        (:data:`repro.faults.report.RECOVERY_POLICIES`); DeepSparse
+        deliberately does not: a dead lane's deque is drained by its
+        peers' ordinary work stealing, which *is* its recovery policy.
+        """
+        self._dead_cores.add(core)
 
     def state_fingerprint(self):
         """Hashable snapshot of every piece of policy state that can
@@ -280,6 +293,50 @@ class HPXScheduler(Scheduler):
         n_dom = machine.n_numa_domains if self.numa_aware else 1
         self._queues: List[List[int]] = [[] for _ in range(n_dom)]
         self._n_ready = 0
+        #: NUMA-hint fallback (fault injection): when every core of a
+        #: domain is dead its queue index maps to the nearest live
+        #: domain.  Empty on healthy runs — on_ready stays untouched.
+        self._dom_remap: Dict[int, int] = {}
+
+    def on_core_loss(self, core: int, time: float) -> None:
+        # HPX recovery: the ready queue is redistributed.  Individual
+        # lane loss needs no queue action (domain peers keep draining
+        # the shared per-domain queue); only when the *whole* domain is
+        # gone is its queue drained to the nearest live domain and the
+        # NUMA hint remapped for future on_ready placements.
+        super().on_core_loss(core, time)
+        if not self.numa_aware:
+            return
+        n_q = len(self._queues)
+        dead_dom = self.machine.domain_of_core(core) % n_q
+        per = self.machine.cores_per_domain
+        dom_cores = range(dead_dom * per, (dead_dom + 1) * per)
+        if any(c not in self._dead_cores for c in dom_cores):
+            return
+        live = [
+            d
+            for d in range(n_q)
+            if d != dead_dom
+            and self._dom_remap.get(d, d) == d
+            and any(
+                c not in self._dead_cores
+                for c in range(d * per, (d + 1) * per)
+            )
+        ]
+        if not live:
+            return
+        target = min(live, key=lambda d: (abs(d - dead_dom), d))
+        if self._queues[dead_dom]:
+            self._queues[target].extend(self._queues[dead_dom])
+            self._queues[dead_dom].clear()
+            tr = self.tracer
+            if tr is not None:
+                tr.queue_depth(time, self._n_ready)
+        self._dom_remap[dead_dom] = target
+        # Re-point any earlier remap that targeted the now-dead domain.
+        for d, t in list(self._dom_remap.items()):
+            if t == dead_dom:
+                self._dom_remap[d] = target
 
     def release_time(self, tid: int, iter_start: float) -> float:
         # The main thread builds the dataflow tree serially each iteration.
@@ -294,7 +351,10 @@ class HPXScheduler(Scheduler):
         return 0
 
     def on_ready(self, tid, time, enabler_core=None):
-        self._queues[self._domain_of_task(tid)].append(tid)
+        dom = self._domain_of_task(tid)
+        if self._dom_remap:
+            dom = self._dom_remap.get(dom, dom)
+        self._queues[dom].append(tid)
         self._n_ready += 1
         tr = self.tracer
         if tr is not None:
@@ -413,9 +473,31 @@ class RegentScheduler(Scheduler):
         self._worker_q: List[deque] = [deque()
                                        for _ in range(self.n_workers)]
         self._n_ready = 0
+        #: Utility-core promotion (fault injection): maps a promoted
+        #: util core to the worker-queue slot of the dead lane it
+        #: replaces.  Empty on healthy runs — allowed/pick untouched.
+        self._slot_of: Dict[int, int] = {}
 
     def reset_iteration(self, iteration: int, iter_start: float) -> None:
         self._iteration = iteration
+
+    def on_core_loss(self, core: int, time: float) -> None:
+        # Regent recovery: promote a reserved utility core into the
+        # worker pool to serve the dead lane's queue slot, keeping at
+        # least one util core for the runtime itself (the mapper and
+        # dependence-analysis pipeline still need a home).
+        super().on_core_loss(core, time)
+        slot = self._slot_of.pop(core, core if core < self.n_workers else None)
+        if slot is None:
+            return
+        spare = [
+            c
+            for c in range(self.machine.n_cores - 1, self.n_workers - 1, -1)
+            if c not in self._slot_of and c not in self._dead_cores
+        ]
+        if len(spare) < 2:  # the last util core is never promoted
+            return
+        self._slot_of[spare[0]] = slot
 
     def state_fingerprint(self):
         # ``_iteration`` only influences behaviour through the
@@ -433,8 +515,9 @@ class RegentScheduler(Scheduler):
         return iter_start + float(self._visible[tid])
 
     def allowed(self, core: int) -> bool:
-        # The last n_util cores belong to the runtime.
-        return core < self.n_workers
+        # The last n_util cores belong to the runtime (unless promoted
+        # into the worker pool after a lane loss).
+        return core < self.n_workers or core in self._slot_of
 
     def _home_worker(self, tid: int) -> int:
         i = self.dag.tasks[tid].params.get("i")
@@ -455,7 +538,10 @@ class RegentScheduler(Scheduler):
             if tr is not None:
                 tr.poll(time, core)
             return None
-        q = self._worker_q[core]
+        slot = core
+        if self._slot_of:
+            slot = self._slot_of.get(core, core)
+        q = self._worker_q[slot]
         raided = False
         if not q:
             q = max(self._worker_q, key=len)

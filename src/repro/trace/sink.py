@@ -14,6 +14,7 @@ big runs stream to disk without retaining anything:
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Iterator, List, Optional, Union
 
 from repro.trace.events import event_from_dict, event_to_dict
@@ -60,14 +61,26 @@ class JSONLSink(TraceSink):
 
     For big runs: nothing is retained in memory.  Accepts a path (owned:
     ``close`` closes it) or an open text file object (borrowed).
+
+    Owned paths are crash-safe: the stream is written to
+    ``<path>.part`` and atomically renamed to ``path`` on a successful
+    :meth:`close`.  If the traced run raises, the context manager
+    aborts instead — the ``.part`` file is removed and ``path`` is
+    never created, so a half-written trace can't masquerade as a
+    complete one.  (Borrowed file objects are the caller's to manage
+    and are only flushed.)
     """
 
     def __init__(self, path_or_file: Union[str, IO[str]]):
         if hasattr(path_or_file, "write"):
             self._f: Optional[IO[str]] = path_or_file
             self._owned = False
+            self.path: Optional[str] = None
+            self._part: Optional[str] = None
         else:
-            self._f = open(path_or_file, "w", encoding="utf-8")
+            self.path = os.fspath(path_or_file)
+            self._part = self.path + ".part"
+            self._f = open(self._part, "w", encoding="utf-8")
             self._owned = True
         self.n_events = 0
 
@@ -82,6 +95,25 @@ class JSONLSink(TraceSink):
             f.flush()
             if self._owned:
                 f.close()
+                os.replace(self._part, self.path)
+
+    def abort(self) -> None:
+        """Discard the stream: close and delete the ``.part`` file
+        (owned mode) without ever publishing ``path``.  Idempotent."""
+        f, self._f = self._f, None
+        if f is not None and self._owned:
+            f.close()
+            try:
+                os.unlink(self._part)
+            except OSError:
+                pass
+
+    def __exit__(self, exc_type, *exc):
+        if exc_type is not None:
+            self.abort()
+            return False
+        self.close()
+        return False
 
 
 def read_jsonl(path: str) -> Iterator:

@@ -139,6 +139,48 @@ def test_corrupted_entry_is_a_miss_and_is_removed(tmp_path):
     assert cache.get(CONFIG) is not None
 
 
+def test_corrupt_entries_are_quarantined_for_post_mortem(tmp_path):
+    """A bad entry is moved to <root>/corrupt/, not destroyed: a miss
+    for the experiment, evidence for the operator."""
+    cache = ResultCache(root=str(tmp_path))
+    cache.put(CONFIG, _summary())
+    key = cache.key(CONFIG)
+    path = cache.path_for(key)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("{ definitely not json")
+    assert cache.get(CONFIG) is None
+    assert cache.quarantined == 1
+    assert cache.stats()["quarantined"] == 1
+    qpath = os.path.join(cache.quarantine_dir(), key + ".json")
+    assert os.path.exists(qpath)
+    with open(qpath, "r", encoding="utf-8") as f:
+        assert f.read() == "{ definitely not json"
+    # clear() leaves the quarantine alone (it's not addressable data).
+    cache.put(CONFIG, _summary())
+    cache.clear()
+    assert os.path.exists(qpath)
+
+
+def test_checksum_mismatch_is_caught_and_quarantined(tmp_path):
+    """Silent payload corruption that still parses as JSON — a flipped
+    float, a truncated-then-repaired entry — must not be served."""
+    cache = ResultCache(root=str(tmp_path))
+    cache.put(CONFIG, _summary())
+    path = cache.path_for(cache.key(CONFIG))
+    with open(path, "r", encoding="utf-8") as f:
+        entry = json.load(f)
+    entry["summary"]["total_time"] = 123456.789  # tampered payload
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entry, f)
+    assert cache.get(CONFIG) is None
+    assert cache.quarantined == 1
+    assert not os.path.exists(path)
+    # A fresh put round-trips again.
+    summary = _summary()
+    cache.put(CONFIG, summary)
+    assert cache.get(CONFIG) == summary
+
+
 def test_clear_removes_entries(tmp_path):
     cache = ResultCache(root=str(tmp_path))
     cache.put(CONFIG, _summary())

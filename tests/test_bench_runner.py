@@ -1,6 +1,10 @@
-"""The experiment orchestrator: dedupe, ordering, caching, parallelism."""
+"""The experiment orchestrator: dedupe, ordering, caching, parallelism,
+and survival of crashing / hanging / failing workers."""
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
@@ -10,6 +14,8 @@ from repro.bench.runner import (
     DEFAULT_BLOCK_COUNT,
     ExperimentRunner,
     REGENT_BLOCK_COUNT,
+    SweepError,
+    _pool_worker,
     expand_grid,
 )
 
@@ -140,6 +146,130 @@ def test_run_grid_shorthand(tmp_path):
                               block_counts=[16], iterations=1)
     assert len(results) == 1
     assert results[0].machine == "broadwell"
+
+
+# ----------------------------------------------------------------------
+# hardened orchestration: crashes, hangs, failures, retries
+# ----------------------------------------------------------------------
+# Injected workers live at module level so a ProcessPoolExecutor can
+# pickle them into child processes.
+
+def _crash_hard_once(config):
+    """Dies with os._exit (no exception, no cleanup — a real segfault
+    analogue) on the first call, then behaves.  The marker file makes
+    "first" hold across processes."""
+    marker = os.environ["REPRO_TEST_CRASH_MARKER"]
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(13)
+    return _pool_worker(config)
+
+
+def _fail_cleanly(config):
+    raise ValueError(f"injected failure for {config['version']}")
+
+
+def _fail_hpx_only(config):
+    if config["version"] == "hpx":
+        raise ValueError("injected hpx failure")
+    return _pool_worker(config)
+
+
+_TRANSIENT_CALLS = {"n": 0}
+
+
+def _fail_once_then_succeed(config):
+    _TRANSIENT_CALLS["n"] += 1
+    if _TRANSIENT_CALLS["n"] == 1:
+        raise RuntimeError("transient glitch")
+    return _pool_worker(config)
+
+
+def _hang_forever(config):
+    time.sleep(3600)
+
+
+def test_pool_survives_worker_crash(tmp_path, monkeypatch):
+    """A worker dying hard poisons the pool; the runner rebuilds it and
+    resubmits — without burning the cells' retry budget — and the sweep
+    completes with results identical to a healthy serial run."""
+    monkeypatch.setenv("REPRO_TEST_CRASH_MARKER",
+                       str(tmp_path / "crashed.marker"))
+    crashy = ExperimentRunner(
+        cache=ResultCache(root=str(tmp_path / "a")), jobs=2,
+        backoff=0.0, pool_worker=_crash_hard_once)
+    got = crashy.run_cells(CELLS)
+    healthy = ExperimentRunner(
+        cache=ResultCache(root=str(tmp_path / "b")), jobs=1)
+    want = healthy.run_cells(CELLS)
+    assert [r.to_dict() for r in got] == [r.to_dict() for r in want]
+    assert os.path.exists(str(tmp_path / "crashed.marker"))
+
+
+def test_inline_retry_recovers_transient_failure(tmp_path):
+    _TRANSIENT_CALLS["n"] = 0
+    runner = _runner(tmp_path, jobs=1, attempts=2, backoff=0.0,
+                     pool_worker=_fail_once_then_succeed)
+    results = runner.run_cells(CELLS[:1])
+    assert results[0].total_time > 0
+    assert _TRANSIENT_CALLS["n"] == 2  # failed once, retried once
+
+
+def test_exhausted_retries_raise_sweep_error_with_table(tmp_path):
+    runner = _runner(tmp_path, jobs=1, attempts=2, backoff=0.0,
+                     pool_worker=_fail_cleanly)
+    with pytest.raises(SweepError) as ei:
+        runner.run_cells(CELLS[:2])
+    err = ei.value
+    assert len(err.failures) == 2
+    assert all(f["attempts"] == 2 for f in err.failures)
+    assert "2 cell(s) failed after retries" in str(err)
+    assert CELLS[0].label() in str(err)
+    assert "ValueError" in err.failures[0]["error"]
+
+
+def test_partial_failure_keeps_successes_cached(tmp_path):
+    """Cells that simulated fine are cached before the raise, so a
+    re-run with a healthy worker only repeats the failed work."""
+    sick = _runner(tmp_path, jobs=1, attempts=2, backoff=0.0,
+                   pool_worker=_fail_hpx_only)
+    with pytest.raises(SweepError) as ei:
+        sick.run_cells(CELLS)  # libcsr, deepsparse, hpx
+    assert [f["cell"] for f in ei.value.failures] == [CELLS[2].label()]
+    recovered = _runner(tmp_path)
+    recovered.run_cells(CELLS)
+    by_cell = {r["cell"]: r["cached"] for r in recovered.report}
+    assert by_cell == {CELLS[0].label(): True,
+                       CELLS[1].label(): True,
+                       CELLS[2].label(): False}
+
+
+def test_pool_timeout_kills_wedged_workers(tmp_path):
+    """A hanging worker must not hold the sweep hostage: the deadline
+    expires, the processes are killed, and the cells are reported."""
+    runner = _runner(tmp_path, jobs=2, timeout=0.5, attempts=1,
+                     backoff=0.0, pool_worker=_hang_forever)
+    t0 = time.monotonic()
+    with pytest.raises(SweepError) as ei:
+        runner.run_cells(CELLS[:2])
+    assert time.monotonic() - t0 < 30  # nowhere near the 3600 s sleep
+    assert len(ei.value.failures) == 2
+    assert all("timed out" in f["error"] for f in ei.value.failures)
+
+
+def test_quarantine_counter_surfaces_in_report(tmp_path):
+    runner = _runner(tmp_path)
+    runner.run_cells(CELLS[:1])
+    # Corrupt the entry on disk, then re-run: the cache quarantines it
+    # and the bench summary warns.
+    path = runner.cache.path_for(runner.cache.key(CELLS[0].config()))
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("{ not json")
+    again = _runner(tmp_path)
+    again.run_cells(CELLS[:1])
+    assert again.cache.quarantined == 1
+    report = again.format_report()
+    assert "1 corrupt cache entry quarantined" in report
 
 
 # ----------------------------------------------------------------------

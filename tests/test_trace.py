@@ -9,6 +9,7 @@ fold, and the trace-backed renderers.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -100,6 +101,44 @@ def test_jsonl_sink_borrowed_file_not_closed(tmp_path):
         sink.close()
         assert not f.closed  # borrowed handle stays open
     assert list(read_jsonl(str(path))) == [_ALL_EVENTS[0]]
+
+
+def test_jsonl_sink_writes_part_file_until_closed(tmp_path):
+    """Owned mode streams to <path>.part and publishes atomically on
+    close, so a reader never sees a half-written trace at `path`."""
+    path = str(tmp_path / "events.jsonl")
+    sink = JSONLSink(path)
+    sink.emit(_ALL_EVENTS[0])
+    assert os.path.exists(path + ".part")
+    assert not os.path.exists(path)
+    sink.close()
+    assert os.path.exists(path)
+    assert not os.path.exists(path + ".part")
+    assert list(read_jsonl(path)) == [_ALL_EVENTS[0]]
+    sink.close()  # idempotent
+
+
+def test_jsonl_sink_exception_leaves_no_file_behind(tmp_path):
+    """Regression: a traced run that raises mid-stream must leave
+    neither `path` nor a stale `.part` — a half-written trace used to
+    survive and masquerade as a complete one."""
+    path = str(tmp_path / "events.jsonl")
+    with pytest.raises(RuntimeError, match="simulated failure"):
+        with JSONLSink(path) as sink:
+            sink.emit(_ALL_EVENTS[0])
+            raise RuntimeError("simulated failure")
+    assert not os.path.exists(path)
+    assert not os.path.exists(path + ".part")
+
+
+def test_jsonl_sink_abort_is_explicit_and_idempotent(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    sink = JSONLSink(path)
+    sink.emit(_ALL_EVENTS[0])
+    sink.abort()
+    sink.abort()
+    assert not os.path.exists(path)
+    assert not os.path.exists(path + ".part")
 
 
 # ---------------------------------------------------------- chrome export
