@@ -9,6 +9,15 @@ libcsb all default to the same :class:`BuildOptions`) share one DAG
 object.  Sharing is safe because execution never mutates a DAG — the
 engines read tasks/succ/pred and keep all mutable state (cache
 hierarchy, cost prep, flow records) on their own side.
+
+Layered over the in-process memos is the cross-process *prep store*
+(:mod:`repro.bench.prep`): :func:`_prepped_dag` first tries to load a
+persisted artifact — census + built DAG with frozen
+structure-of-arrays view, interned tables, and compiled access plans —
+and only on a store miss builds everything, compiles the prep against
+the target machine, and writes the artifact through.  With the store
+disabled (``REPRO_NO_PREP=1``) it degrades to exactly the old
+in-process ``lru_cache`` behaviour.
 """
 
 from __future__ import annotations
@@ -31,7 +40,10 @@ from repro.runtime import (
 from repro.solvers import lanczos_trace, lobpcg_trace
 from repro.tuning.blocksize import block_size_for_count
 
-__all__ = ["run_cell", "run_version", "ALL_VERSIONS", "DEFAULT_WIDTHS"]
+__all__ = [
+    "run_cell", "run_version", "ALL_VERSIONS", "DEFAULT_WIDTHS",
+    "prep_config", "prebuild_prep",
+]
 
 ALL_VERSIONS = ("libcsr", "libcsb", "deepsparse", "hpx", "regent")
 
@@ -39,8 +51,17 @@ ALL_VERSIONS = ("libcsr", "libcsb", "deepsparse", "hpx", "regent")
 DEFAULT_WIDTHS = {"lobpcg": 8, "lanczos": 20}  # lanczos: Krylov basis size
 
 
+#: Censuses adopted from loaded prep artifacts, consulted before
+#: building from scratch: a store hit for one solver primes the census
+#: for every other cell sharing (matrix, block_size) in this process.
+_census_loaded: dict = {}
+
+
 @lru_cache(maxsize=256)
 def _census(matrix: str, block_size: int):
+    adopted = _census_loaded.get((matrix, block_size))
+    if adopted is not None:
+        return adopted
     return census_for(SUITE[matrix], block_size)
 
 
@@ -65,6 +86,121 @@ def _dag(matrix: str, block_size: int, solver: str, width: int, options):
     """
     cen, calls, chunked, small = _trace(matrix, block_size, solver, width)
     return build_solver_dag(cen, calls, chunked, small, "A", options)
+
+
+def prep_config(machine_name: str, matrix: str, block_size: int,
+                solver: str, width: int, options,
+                first_touch: bool = True) -> dict:
+    """Content-address config of one prep artifact.
+
+    The machine is part of the key because compiled access plans embed
+    machine constants (cache capacities, line costs); ``options`` is a
+    frozen :class:`~repro.graph.builder.BuildOptions`, keyed by its
+    (deterministic) dataclass repr.
+    """
+    return {
+        "kind": "prep",
+        "machine": machine_name,
+        "matrix": matrix,
+        "block_size": int(block_size),
+        "solver": solver,
+        "width": int(width),
+        "options": repr(options),
+        "first_touch": bool(first_touch),
+    }
+
+
+def _compile_prep(machine_name: str, dag, first_touch: bool = True):
+    """Compile every reusable per-run invariant onto the DAG.
+
+    Mirrors the engine's run setup exactly (configure memory → resolve
+    partitions → compile plans → scheduler domain tables) against a
+    throwaway memory/cache stack, so the artifact a worker loads
+    carries the same ``_cost_prep``/``_home_arrays``/``_sched_domains``
+    a live run would have produced.
+    """
+    from repro.machine.cache import CacheHierarchy
+    from repro.machine.memory import MemoryModel
+    from repro.sim.cost import CostModel
+    from repro.sim.engine import _bsp_phase_assignments, _max_partitions
+    from repro.sim.schedulers import _domain_tables
+
+    machine = get_machine(machine_name)
+    memory = MemoryModel(machine, first_touch=first_touch)
+    memory.configure_from_dag(dag)
+    if memory.n_parts is None:
+        memory.n_parts = _max_partitions(dag)
+    CostModel(machine, CacheHierarchy(machine), memory).prepare(dag)
+    _domain_tables(dag, memory)
+    _bsp_phase_assignments(dag, machine.n_cores)
+
+
+@lru_cache(maxsize=128)
+def _prepped_dag(machine_name: str, matrix: str, block_size: int,
+                 solver: str, width: int, options,
+                 first_touch: bool = True):
+    """One executable DAG per cell subkey, via the prep store.
+
+    Store hit: the loaded DAG arrives with its frozen SoA view,
+    interned tables, and compiled plans — no trace, no builder, no
+    plan compile; the artifact's census also primes :func:`_census`
+    for sibling cells.  Store miss (or store disabled): build through
+    the in-process memos; on a miss with the store enabled, compile
+    the prep and write the artifact through so the *next* process (or
+    pool worker) loads it.
+    """
+    from repro.bench.prep import default_prep_store
+
+    store = default_prep_store()
+    if not store.enabled:
+        return _dag(matrix, block_size, solver, width, options)
+    config = prep_config(machine_name, matrix, block_size, solver,
+                         width, options, first_touch)
+    artifact = store.get(config)
+    if artifact is not None:
+        _census_loaded.setdefault((matrix, block_size),
+                                  artifact["census"])
+        return artifact["dag"]
+    dag = _dag(matrix, block_size, solver, width, options)
+    _compile_prep(machine_name, dag, first_touch)
+    # The charge memo is excluded from the artifact: its keys embed
+    # id(plans), which is meaningless in another process.  Popping it
+    # here is safe — engines lazily recreate it against the (shared)
+    # compiled plans.
+    memo = dag.__dict__.pop("_charge_memo", None)
+    try:
+        store.put(config, {"config": config,
+                           "census": _census(matrix, block_size),
+                           "dag": dag})
+    finally:
+        if memo is not None:
+            dag._charge_memo = memo
+    return dag
+
+
+def prebuild_prep(machine_name: str, matrix: str, solver: str,
+                  version: str, block_count: int = 64,
+                  width: int = None, first_touch: bool = True,
+                  options=None) -> dict:
+    """Ensure the prep artifact for one cell exists; returns its config.
+
+    Used by :class:`repro.bench.runner.ExperimentRunner` to build each
+    distinct artifact once in the parent before pool workers fan out,
+    and by the ``repro prep build`` CLI.
+    """
+    machine = get_machine(machine_name)
+    spec = SUITE[matrix]
+    width = width or DEFAULT_WIDTHS[solver]
+    if version == "libcsr":
+        bs = libcsr_partitions(machine, spec.paper_rows)
+    else:
+        bs = block_size_for_count(spec.paper_rows, block_count)
+    if options is None:
+        options = _make_runtime(version, machine, first_touch, 0).options
+    _prepped_dag(machine_name, matrix, bs, solver, width, options,
+                 first_touch)
+    return prep_config(machine_name, matrix, bs, solver, width, options,
+                       first_touch)
 
 
 def _make_runtime(version: str, machine, first_touch: bool, seed: int,
@@ -121,7 +257,8 @@ def run_version(
                        **runtime_overrides)
     if options is not None:
         rt.options = options
-    dag = _dag(matrix, bs, solver, width, rt.options)
+    dag = _prepped_dag(machine_name, matrix, bs, solver, width,
+                       rt.options, first_touch)
     return rt.execute(dag, iterations=iterations, tracer=tracer,
                       faults=faults)
 

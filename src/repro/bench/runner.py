@@ -242,10 +242,50 @@ class ExperimentRunner:
                 miss_keys.append(key)
 
         if miss_keys:
+            if self.jobs > 1 and len(miss_keys) > 1:
+                self._prebuild_prep(miss_keys, configs)
             self._run_misses(miss_keys, configs, labels, results)
 
         self.total_seconds = time.perf_counter() - t_start
         return [results[k] for k in keys]
+
+    def _prebuild_prep(self, miss_keys, configs) -> None:
+        """Build each distinct prep artifact once before the fan-out.
+
+        Different cells (versions, iteration counts, seeds) share prep
+        subkeys, so building in the parent means pool workers *load*
+        the census/DAG/compiled plans instead of each rebuilding them.
+        Repeats are free (the in-process dag memo absorbs them), a
+        disabled store makes this a no-op, and a prebuild failure is
+        swallowed — the cell's ordinary run will surface it with the
+        full retry machinery.
+        """
+        from repro.analysis.experiment import prebuild_prep
+        from repro.bench.prep import default_prep_store
+
+        store = default_prep_store()
+        if not store.enabled:
+            return
+        t0 = time.perf_counter()
+        built = set()
+        for key in miss_keys:
+            c = configs[key]
+            try:
+                pc = prebuild_prep(
+                    c["machine"], c["matrix"], c["solver"], c["version"],
+                    block_count=int(c.get("block_count") or 64),
+                    width=c.get("width"),
+                    first_touch=bool(c.get("first_touch", True)),
+                )
+            except Exception as e:
+                self._note(f"[prep]  skipped ({type(e).__name__}: {e})")
+                continue
+            built.add(store.key(pc))
+        if built:
+            self._note(
+                f"[prep]  {len(built)} artifact(s) ready in "
+                f"{time.perf_counter() - t0:.2f} s"
+            )
 
     def _run_misses(self, miss_keys, configs, labels, results) -> None:
         """Simulate the cache misses, surviving sick workers.

@@ -177,6 +177,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Gantt text width")
     s.add_argument("--max-cores", type=int, default=16,
                    help="Gantt lanes to print")
+
+    s = sub.add_parser(
+        "prep",
+        help="manage the compiled-prep store (census + DAG + access "
+             "plans persisted per cell; warm sweeps skip all build "
+             "work)",
+    )
+    s.add_argument("action", choices=["build", "list", "gc"],
+                   help="build: compile + persist prep artifacts for a "
+                        "grid; list: show artifacts on disk; gc: drop "
+                        "stale-salt entries, tmp files, and quarantined "
+                        "corrupt artifacts")
+    s.add_argument("--machine", nargs="+",
+                   choices=["broadwell", "epyc"], default=["broadwell"])
+    s.add_argument("--matrix", nargs="+", default=None,
+                   help="matrices to prebuild (default: the "
+                        "representative 8-matrix subset)")
+    s.add_argument("--solver", nargs="+",
+                   choices=["lanczos", "lobpcg"], default=["lanczos"])
+    s.add_argument("--version", nargs="+",
+                   choices=["libcsr", "libcsb", "deepsparse", "hpx",
+                            "regent"],
+                   default=["libcsr", "deepsparse"],
+                   help="versions whose BuildOptions to compile for "
+                        "(versions sharing a decomposition policy "
+                        "share one artifact)")
+    s.add_argument("--block-count", nargs="+", type=int, default=[64],
+                   help="block counts to prebuild (ignored by libcsr)")
+    s.add_argument("--width", type=int, default=None,
+                   help="vector-block width override (default: the "
+                        "solver's paper width)")
     return p
 
 
@@ -498,6 +529,74 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_prep(args) -> int:
+    import time
+
+    from repro.bench import DEFAULT_MATRICES, default_prep_store
+
+    store = default_prep_store()
+    if args.action == "gc":
+        removed = store.gc()
+        print(f"prep gc: removed {removed['stale']} stale, "
+              f"{removed['tmp']} tmp, {removed['corrupt']} corrupt "
+              f"({store.root})")
+        return 0
+    if args.action == "list":
+        entries = store.entries()
+        print(f"prep store: {store.root} "
+              f"({'enabled' if store.enabled else 'disabled'}, "
+              f"{len(entries)} artifacts)")
+        if entries:
+            print(f"{'machine':10s}{'matrix':16s}{'solver':9s}"
+                  f"{'bs':>7s}{'w':>4s}{'KiB':>8s}  key")
+        for e in entries:
+            if "error" in e:
+                print(f"  unreadable {e['path']}: {e['error']}")
+                continue
+            c = e.get("config", {})
+            print(f"{c.get('machine', '?'):10s}"
+                  f"{c.get('matrix', '?'):16s}"
+                  f"{c.get('solver', '?'):9s}"
+                  f"{c.get('block_size', 0):>7d}"
+                  f"{c.get('width', 0):>4d}"
+                  f"{e.get('file_bytes', 0) / 1024:8.1f}"
+                  f"  {e.get('key', '?')[:12]}")
+        return 0
+
+    # build: one artifact per distinct (machine, matrix, solver,
+    # block_size, options) — versions sharing BuildOptions dedupe via
+    # the content address.
+    from repro.analysis.experiment import prebuild_prep
+
+    if not store.enabled:
+        print("prep store disabled (REPRO_NO_PREP); nothing to build",
+              file=sys.stderr)
+        return 1
+    matrices = args.matrix or list(DEFAULT_MATRICES)
+    built = 0
+    t0 = time.perf_counter()
+    for machine in args.machine:
+        for matrix in matrices:
+            for solver in args.solver:
+                for version in args.version:
+                    for bc in args.block_count:
+                        config = prebuild_prep(
+                            machine, matrix, solver, version,
+                            block_count=bc, width=args.width,
+                        )
+                        key = store.key(config)
+                        print(f"  {machine}/{matrix}/{solver} "
+                              f"bs={config['block_size']} "
+                              f"-> {key[:12]}")
+                        built += 1
+    dt = time.perf_counter() - t0
+    st = store.stats()
+    print(f"prep build: {built} cells in {dt:.2f}s "
+          f"(hits={st['hits']} misses={st['misses']} "
+          f"writes={st['writes']}) -> {store.root}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -509,8 +608,18 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
+        "prep": _cmd_prep,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro prep list | head`);
+        # the usual Unix contract is a quiet exit, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

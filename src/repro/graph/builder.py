@@ -189,6 +189,11 @@ class DAGBuilder:
         dag.n_partitions = self.np_
         dag.matrix_name = self.matrix_name
         dag.matrix_nbc = self.csb.nbc
+        # Freeze the structure-of-arrays view once here: every engine,
+        # cost model and scheduler that later executes this DAG reads
+        # the same flat tables instead of re-deriving adjacency and
+        # interning per instance, and the prep store persists them.
+        dag.freeze()
         return dag
 
     # -- SPMM / SPMV ---------------------------------------------------

@@ -137,6 +137,7 @@ class CostModel:
         "_fast_ok", "_fast_prep", "_plan_epoch", "_homes", "_haspart",
         "_core_dom", "_mm_local", "_mm_remote", "_mm_scat",
         "_mm_scatmode", "_n_domains", "_memo",
+        "_bare_ctx", "_bare_common",
         "memo_hits", "memo_misses",
     )
 
@@ -177,6 +178,8 @@ class CostModel:
         self._mm_scatmode = memory.scattered
         self._n_domains = machine.n_numa_domains
         self._memo = None
+        self._bare_ctx = None
+        self._bare_common = None
         self.memo_hits = 0
         self.memo_misses = 0
 
@@ -323,35 +326,42 @@ class CostModel:
                 (nbytes + 63) // 64,
             ))
         touches = tuple(out)
-        gather = None
+        return (compute, touches, self._gather_bundle(task, key_of))
+
+    def _gather_bundle(self, task: Task, key_of=None):
+        """The precompiled gather tuple of :meth:`_task_info`, or None.
+
+        Factored out so the structure-of-arrays compile path
+        (:meth:`_compile_plans_soa`) shares the exact arithmetic."""
         span = task.shape.get("gather_span", 0)
-        if span > 0:
-            nnz = task.shape.get("nnz", 0)
-            retouches = nnz * self.gather_intensity
-            if retouches > 0:
-                m = self.machine
-                p1 = max(0.0, 1.0 - m.l1_size / span)
-                p2 = max(0.0, 1.0 - m.l2_size / span)
-                l3_share = m.l3_size / m.l3_group_cores
-                p3 = max(0.0, 1.0 - l3_share / span)
-                g1 = int(retouches * p1)
-                g2 = int(retouches * p2)
-                g3 = int(retouches * p3)
-                chunk_bytes = (task.shape.get("cols", 0)
-                               * task.shape.get("width", 1) * 8)
-                scattered = span > 1.5 * max(1, chunk_bytes)
-                xkey = None
-                if not scattered:
-                    for h in task.reads:
-                        if h.part is not None and \
-                                h.name != task.params.get("A"):
-                            xkey = (h.name, h.part)
-                            if key_of is not None:
-                                xkey = key_of[xkey]
-                            break
-                fixed = (g1 - g2) * self._l2c + (g2 - g3) * self._l3c
-                gather = (g1, g2, g3, fixed, scattered, xkey)
-        return (compute, touches, gather)
+        if span <= 0:
+            return None
+        nnz = task.shape.get("nnz", 0)
+        retouches = nnz * self.gather_intensity
+        if retouches <= 0:
+            return None
+        m = self.machine
+        p1 = max(0.0, 1.0 - m.l1_size / span)
+        p2 = max(0.0, 1.0 - m.l2_size / span)
+        l3_share = m.l3_size / m.l3_group_cores
+        p3 = max(0.0, 1.0 - l3_share / span)
+        g1 = int(retouches * p1)
+        g2 = int(retouches * p2)
+        g3 = int(retouches * p3)
+        chunk_bytes = (task.shape.get("cols", 0)
+                       * task.shape.get("width", 1) * 8)
+        scattered = span > 1.5 * max(1, chunk_bytes)
+        xkey = None
+        if not scattered:
+            for h in task.reads:
+                if h.part is not None and \
+                        h.name != task.params.get("A"):
+                    xkey = (h.name, h.part)
+                    if key_of is not None:
+                        xkey = key_of[xkey]
+                    break
+        fixed = (g1 - g2) * self._l2c + (g2 - g3) * self._l3c
+        return (g1, g2, g3, fixed, scattered, xkey)
 
     def prepare(self, dag, iterations=None) -> None:
         """Precompute pricing invariants for every task of one DAG.
@@ -390,10 +400,14 @@ class CostModel:
         # once; prepared touches/gathers below carry those int keys, so
         # every structure hashed in the hot loop hashes small ints.
         key_of = None
+        soa = None
         interning = getattr(dag, "handle_interning", None)
         if interning is not None:
             key_of, id_to_key = interning()
             self.memory.adopt_interning(id_to_key)
+            freeze = getattr(dag, "freeze", None)
+            if freeze is not None:
+                soa = freeze()
         key = (self.machine, self.gather_intensity)
         store = getattr(dag, "_cost_prep", None)
         if store is None:
@@ -401,12 +415,12 @@ class CostModel:
             try:
                 dag._cost_prep = store
             except AttributeError:  # slotted/foreign DAG type
-                self._prep = self._compile_plans(tasks, key_of)
+                self._prep = self._compile_plans(tasks, key_of, soa)
                 self._arm_fast_path(key_of, iterations, dag)
                 return
         prep = store.get(key)
         if prep is None or len(prep) != len(tasks):
-            prep = self._compile_plans(tasks, key_of)
+            prep = self._compile_plans(tasks, key_of, soa)
             store[key] = prep
             # A replaced plan list may be freed and its id() reused, so
             # any memo keyed on the old plans' identity must go too.
@@ -417,7 +431,7 @@ class CostModel:
         self._prep = prep
         self._arm_fast_path(key_of, iterations, dag)
 
-    def _compile_plans(self, tasks, key_of):
+    def _compile_plans(self, tasks, key_of, soa=None):
         """Flatten every task into its access plan.
 
         The plan id is simply the task's index: plans embed their
@@ -432,7 +446,15 @@ class CostModel:
         the cost of even computing a state signature (measured: memoing
         them made whole sweeps *slower* at a 73% hit rate), so the
         charge memo only arms for heavy plans.
+
+        When the DAG is frozen (``soa`` given, interned keys active)
+        the touch tuples are read off the flat structure-of-arrays
+        tables instead of re-walking ``reads``/``writes`` handle
+        objects per task — same values, compiled in one pass over
+        preconverted Python-int lists.
         """
+        if soa is not None and key_of is not None:
+            return self._compile_plans_soa(tasks, soa, key_of)
         plans = []
         info = self._task_info
         l1 = self.machine.l1_size
@@ -441,6 +463,57 @@ class CostModel:
             touches = tuple(tt for tt in touches if tt[1] > 0)
             heavy = sum(tt[3] for tt in touches) > l1
             plans.append((compute, touches, gather, len(plans), heavy))
+        return plans
+
+    def _compile_plans_soa(self, tasks, soa, key_of):
+        """Structure-of-arrays twin of the plan compiler.
+
+        Touch ids/bytes/write-flags come from the DAG's frozen flat
+        tables (:class:`repro.graph.dag.GraphArrays`), converted to
+        Python ints once (`.tolist()`) so plan tuples never carry NumPy
+        scalars into the hot charge walk.  The effective-byte override
+        of sparse kernels is applied by operand *name* via the interned
+        id tables — byte-for-byte the rule :meth:`_task_info` applies
+        to handle objects, pinned by the equivalence fixture and the
+        plan-equality property test.
+        """
+        indptr = soa.touch_indptr.tolist()
+        t_ids = soa.touch_ids.tolist()
+        t_nbytes = soa.touch_nbytes.tolist()
+        t_write = soa.touch_is_write.tolist()
+        names = soa.id_name
+        l1 = self.machine.l1_size
+        peak = self._peak_core
+        eff = KIND_EFFICIENCY
+        gather_of = self._gather_bundle
+        plans = []
+        for tid, t in enumerate(tasks):
+            compute = t.flops / (peak * eff.get(t.kind, 0.3))
+            a, b = indptr[tid], indptr[tid + 1]
+            gather = None
+            if t.kernel in ("SPMV", "SPMM"):
+                tb = self._effective_bytes(t)
+                tb_get = tb.get
+                touches = []
+                for j in range(a, b):
+                    oid = t_ids[j]
+                    nbytes = tb_get(names[oid], t_nbytes[j])
+                    if nbytes > 0:
+                        touches.append((
+                            oid, nbytes, t_write[j],
+                            nbytes if nbytes < l1 else l1,
+                            (nbytes + 63) // 64,
+                        ))
+                gather = gather_of(t, key_of)
+            else:
+                touches = [
+                    (t_ids[j], t_nbytes[j], t_write[j],
+                     t_nbytes[j] if t_nbytes[j] < l1 else l1,
+                     (t_nbytes[j] + 63) // 64)
+                    for j in range(a, b) if t_nbytes[j] > 0
+                ]
+            heavy = sum(tt[3] for tt in touches) > l1
+            plans.append((compute, tuple(touches), gather, tid, heavy))
         return plans
 
     def _arm_fast_path(self, key_of, iterations=None, dag=None) -> None:
@@ -537,6 +610,33 @@ class CostModel:
         self._memo = memo
         self.memo_hits = 0
         self.memo_misses = 0
+        # Hot-loop invariants of the bare compiled walk, resolved once
+        # per prepare instead of per charge: one shared tuple for the
+        # model-wide bindings and a lazily-filled per-core list (see
+        # :meth:`_bare_core_ctx`).  Rebuilt on every prepare; a stale
+        # context is unreachable because the bare path is only entered
+        # under the same ``state_epoch`` guard that validated these.
+        cache = self.cache
+        self._bare_common = (
+            cache._sharers, cache._l3_sharers, cache._invalidate_others,
+            self._l2c, self._l3c, self._homes, self._haspart,
+            self._mm_local, self._mm_remote, self._mm_scat,
+            self._mm_scatmode,
+        )
+        self._bare_ctx = [None] * self.machine.n_cores
+
+    def _bare_core_ctx(self, core: int):
+        """Resolve (and cache) one core's invariant charge context."""
+        cache = self.cache
+        g = cache._group_of[core]
+        L1 = cache.l1[core]
+        L2 = cache.l2[core]
+        L3 = cache.l3[g]
+        ctx = (L1, L2, L3, L1._entries, L2._entries, L3._entries,
+               L1.capacity, L2.capacity, L3.capacity, g,
+               self._core_dom[core])
+        self._bare_ctx[core] = ctx
+        return ctx
 
     def flush_memo_stats(self) -> None:
         """Fold this run's memo hit/miss counters into the process
@@ -1224,34 +1324,17 @@ class CostModel:
         to :meth:`CacheHierarchy.access` (see machine/cache.py).
         """
         compute, touches, gather, _pid, _heavy = plan
-        cache = self.cache
-        g = cache._group_of[core]
-        L1 = cache.l1[core]
-        L2 = cache.l2[core]
-        L3 = cache.l3[g]
-        e1 = L1._entries
-        e2 = L2._entries
-        e3 = L3._entries
-        sharer_map = cache._sharers
-        l3_sharer_map = cache._l3_sharers
-        inval = cache._invalidate_others
-        cdom = self._core_dom[core]
-        cap1 = L1.capacity
-        cap2 = L2.capacity
-        cap3 = L3.capacity
+        ctx = self._bare_ctx[core]
+        if ctx is None:
+            ctx = self._bare_core_ctx(core)
+        (L1, L2, L3, e1, e2, e3, cap1, cap2, cap3, g, cdom) = ctx
+        (sharer_map, l3_sharer_map, inval, l2c, l3c, homes, haspart,
+         local, remote, scat, scat_mode) = self._bare_common
         u1 = L1.used
         u2 = L2.used
         u3 = L3.used
         l2_touched = False
         l3_touched = False
-        l2c = self._l2c
-        l3c = self._l3c
-        homes = self._homes
-        haspart = self._haspart
-        local = self._mm_local
-        remote = self._mm_remote
-        scat = self._mm_scat
-        scat_mode = self._mm_scatmode
         lt1 = lt2 = lt3 = 0
         memory_t = 0.0
         for key, nbytes, write, n1, lmf in touches:

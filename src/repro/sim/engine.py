@@ -188,6 +188,9 @@ def _default_barrier_cost(n_cores: int) -> float:
 
 def _max_partitions(dag: TaskDAG) -> int:
     """Highest chunk partition count in the DAG (NUMA placement input)."""
+    soa = getattr(dag, "_soa", None)
+    if soa is not None:
+        return max(1, soa.max_part)
     best = 0
     for t in dag.tasks:
         for h in t.reads + t.writes:
@@ -998,6 +1001,94 @@ class SimulationEngine:
 
 
 # ----------------------------------------------------------------------
+def _bsp_phase_assignments(dag: TaskDAG, n_cores: int,
+                           nnz_balanced: bool = False):
+    """Static chunk→core assignment of every BSP phase, memoized.
+
+    The assignment is run-invariant — a pure function of the task
+    list, the core count, and the balancing mode — so it is cached on
+    the DAG (and therefore persisted inside prep artifacts: a loaded
+    DAG never recomputes it).  Phases are contiguous runs of equal
+    ``task.seq`` in program order; library kernels balance differently
+    per kernel class — MKL splits sparse kernels by nonzeros, dense
+    ones by rows — so the chunk→core mapping shifts between phases on
+    skewed matrices (the cross-kernel locality loss inherent to the
+    fork-join model).
+    """
+    memo = getattr(dag, "_bsp_phases", None)
+    if memo is None:
+        memo = {}
+        try:
+            dag._bsp_phases = memo
+        except AttributeError:  # slotted/foreign DAG type
+            memo = None
+    mkey = (n_cores, bool(nnz_balanced))
+    if memo is not None:
+        cached = memo.get(mkey)
+        if cached is not None:
+            return cached
+    tasks = dag.tasks
+    phases: List[List[int]] = []
+    last_seq = None
+    for t in tasks:
+        if t.seq != last_seq:
+            phases.append([])
+            last_seq = t.seq
+        phases[-1].append(t.tid)
+    phase_assignments: List[List[tuple]] = []
+    for phase in phases:
+        # Row-group order; reduce tasks (no row index) sort last,
+        # which is also a topological order of intra-phase edges.
+        order = sorted(
+            phase,
+            key=lambda tid: (
+                tasks[tid].params.get("i", float("inf")), tid
+            ),
+        )
+        # The parallel loop ranges over row blocks: all tasks of a
+        # row group stay on one core (the inner column loop is
+        # serial), which also preserves intra-phase dependence
+        # chains.  Library BSP phases split the groups statically
+        # by row count; on matrices with skewed nonzero
+        # distributions the heaviest chunk straggles and the
+        # barrier makes everyone wait — the §1 load-imbalance cost
+        # of the BSP model.  Set ``nnz_balanced`` for an idealized
+        # baseline that splits sparse phases by nonzeros instead.
+        groups: List[List[int]] = []
+        last_i = object()
+        for tid in order:
+            gi = tasks[tid].params.get("i", tid)
+            if gi != last_i:
+                groups.append([])
+                last_i = gi
+            groups[-1].append(tid)
+        ng = len(groups)
+        if tasks[order[0]].kind == "sparse" and nnz_balanced:
+            weights = [
+                sum(max(1.0, tasks[t].shape.get("nnz", 1))
+                    for t in g)
+                for g in groups
+            ]
+            total_w = sum(weights)
+            cum = 0.0
+            group_core = []
+            for wgt in weights:
+                group_core.append(
+                    min(n_cores - 1, int(cum / total_w * n_cores))
+                )
+                cum += wgt
+        else:
+            group_core = [k * n_cores // ng for k in range(ng)]
+        phase_assignments.append([
+            (tid, group_core[k])
+            for k, g in enumerate(groups)
+            for tid in g
+        ])
+    if memo is not None:
+        memo[mkey] = phase_assignments
+    return phase_assignments
+
+
 def run_bsp(
     machine: MachineSpec,
     dag: TaskDAG,
@@ -1052,72 +1143,7 @@ def run_bsp(
     n_cores = machine.n_cores
     tasks = dag.tasks
     pred = dag.pred
-
-    # Phase partition: contiguous runs of equal seq, in program order.
-    phases: List[List[int]] = []
-    last_seq = None
-    for t in tasks:
-        if t.seq != last_seq:
-            phases.append([])
-            last_seq = t.seq
-        phases[-1].append(t.tid)
-
-    # The static chunk→core assignment of every phase is iteration-
-    # invariant, so it is computed once up front (it used to be redone
-    # per iteration).  Static chunked assignment in partition order:
-    # library kernels balance differently per kernel class — MKL splits
-    # sparse kernels by nonzeros, dense ones by rows — so the
-    # chunk→core mapping shifts between phases on skewed matrices (the
-    # cross-kernel locality loss inherent to the fork-join model).
-    phase_assignments: List[List[tuple]] = []
-    for phase in phases:
-        # Row-group order; reduce tasks (no row index) sort last,
-        # which is also a topological order of intra-phase edges.
-        order = sorted(
-            phase,
-            key=lambda tid: (
-                tasks[tid].params.get("i", float("inf")), tid
-            ),
-        )
-        # The parallel loop ranges over row blocks: all tasks of a
-        # row group stay on one core (the inner column loop is
-        # serial), which also preserves intra-phase dependence
-        # chains.  Library BSP phases split the groups statically
-        # by row count; on matrices with skewed nonzero
-        # distributions the heaviest chunk straggles and the
-        # barrier makes everyone wait — the §1 load-imbalance cost
-        # of the BSP model.  Set ``nnz_balanced`` for an idealized
-        # baseline that splits sparse phases by nonzeros instead.
-        groups: List[List[int]] = []
-        last_i = object()
-        for tid in order:
-            gi = tasks[tid].params.get("i", tid)
-            if gi != last_i:
-                groups.append([])
-                last_i = gi
-            groups[-1].append(tid)
-        ng = len(groups)
-        if tasks[order[0]].kind == "sparse" and nnz_balanced:
-            weights = [
-                sum(max(1.0, tasks[t].shape.get("nnz", 1))
-                    for t in g)
-                for g in groups
-            ]
-            total_w = sum(weights)
-            cum = 0.0
-            group_core = []
-            for wgt in weights:
-                group_core.append(
-                    min(n_cores - 1, int(cum / total_w * n_cores))
-                )
-                cum += wgt
-        else:
-            group_core = [k * n_cores // ng for k in range(ng)]
-        phase_assignments.append([
-            (tid, group_core[k])
-            for k, g in enumerate(groups)
-            for tid in g
-        ])
+    phase_assignments = _bsp_phase_assignments(dag, n_cores, nnz_balanced)
 
     charge = cost.charge
     frecord = flow.record if record_flow else None

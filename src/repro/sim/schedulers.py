@@ -49,6 +49,60 @@ INDEX_LAUNCH_KERNELS = frozenset(
 )
 
 
+def _domain_tables(dag, memory):
+    """Per-task NUMA-domain tables over the frozen DAG view.
+
+    Returns ``(first_write_dom, write_doms)`` — the home domain of each
+    task's first write (``-1`` for write-less tasks) and the tuple of
+    all its writes' domains — or ``None`` when they cannot be derived
+    (no frozen view, explicit placement pins, or the memory model's
+    interning is not this DAG's).  The tables are a pure function of
+    the DAG and the striping inputs, so they are cached on the DAG
+    under the same key shape the cost model uses for its home arrays:
+    five runtimes scheduling the same memoized DAG resolve every
+    domain once.  Callers must stamp ``memory.state_epoch`` next to
+    the tables and re-validate per use — a placement mutation bumps
+    the epoch, and the live ``domain_of`` path takes over.
+    """
+    freeze = getattr(dag, "freeze", None)
+    if freeze is None or memory._placement:
+        return None
+    _, id_to_key = dag.handle_interning()
+    if memory._intern_keys is not id_to_key:
+        return None
+    key = (memory.machine, memory.first_touch, memory._n_parts,
+           memory.matrix_geometry)
+    store = getattr(dag, "_sched_domains", None)
+    if store is None:
+        store = {}
+        try:
+            dag._sched_domains = store
+        except AttributeError:  # slotted/foreign DAG type
+            store = None
+    if store is not None:
+        tables = store.get(key)
+        if tables is not None:
+            return tables
+    arrays = memory.home_arrays()
+    if arrays is None:
+        return None
+    homes = arrays[0]
+    soa = freeze()
+    indptr = soa.write_indptr.tolist()
+    wids = soa.write_ids.tolist()
+    first_write_dom = [
+        homes[i] if i >= 0 else -1 for i in soa.first_write_id.tolist()
+    ]
+    write_doms = [
+        tuple(homes[wids[j]] for j in range(indptr[t], indptr[t + 1]))
+        for t in range(soa.n_tasks)
+    ]
+    tables = (first_write_dom, write_doms)
+    if store is not None:
+        store[key] = tables
+    return tables
+
+
 class Scheduler:
     """Base policy: global FIFO, no release serialization, no overhead."""
 
@@ -191,6 +245,16 @@ class DeepSparseScheduler(Scheduler):
         self._deques: List[deque] = [deque() for _ in range(machine.n_cores)]
         self._shared = deque()
         self._n_ready = 0
+        # Precomputed write-home domains for the shared-queue NUMA
+        # scan; epoch-guarded, with the live domain_of path as
+        # fallback (see _domain_tables).
+        tables = _domain_tables(dag, memory)
+        if tables is not None:
+            self._write_doms = tables[1]
+            self._dom_epoch = memory.state_epoch
+        else:
+            self._write_doms = None
+            self._dom_epoch = -1
 
     def state_fingerprint(self):
         # Deques + shared FIFO are the complete policy state (picks
@@ -235,18 +299,33 @@ class DeepSparseScheduler(Scheduler):
             return tid
         if self._shared:
             self._n_ready -= 1
+            shared = self._shared
             dom = self.machine.domain_of_core(core)
-            limit = min(len(self._shared), self.numa_window)
-            for idx in range(limit):
-                t = self.dag.tasks[self._shared[idx]]
-                for h in t.writes:
-                    if self.memory.domain_of((h.name, h.part)) == dom:
-                        tid = self._shared[idx]
-                        del self._shared[idx]
-                        if tr is not None:
-                            tr.queue_depth(time, self._n_ready)
-                        return tid
-            tid = self._shared.popleft()
+            limit = min(len(shared), self.numa_window)
+            hit = -1
+            wdoms = self._write_doms
+            if wdoms is not None \
+                    and self.memory.state_epoch == self._dom_epoch:
+                # Any-write membership over the precomputed domain
+                # tuple — the same predicate as the handle scan below.
+                for idx in range(limit):
+                    if dom in wdoms[shared[idx]]:
+                        hit = idx
+                        break
+            else:
+                for idx in range(limit):
+                    t = self.dag.tasks[shared[idx]]
+                    for h in t.writes:
+                        if self.memory.domain_of((h.name, h.part)) == dom:
+                            hit = idx
+                            break
+                    if hit >= 0:
+                        break
+            if hit >= 0:
+                tid = shared[hit]
+                del shared[hit]
+            else:
+                tid = shared.popleft()
             if tr is not None:
                 tr.queue_depth(time, self._n_ready)
             return tid
@@ -297,6 +376,17 @@ class HPXScheduler(Scheduler):
         #: domain is dead its queue index maps to the nearest live
         #: domain.  Empty on healthy runs — on_ready stays untouched.
         self._dom_remap: Dict[int, int] = {}
+        # Precomputed per-task hint domains (first write's home) for
+        # on_ready; epoch-guarded like the cost model's home arrays.
+        self._task_dom = None
+        self._dom_epoch = -1
+        if self.numa_aware:
+            tables = _domain_tables(dag, memory)
+            if tables is not None:
+                self._task_dom = [
+                    d % n_dom if d >= 0 else 0 for d in tables[0]
+                ]
+                self._dom_epoch = memory.state_epoch
 
     def on_core_loss(self, core: int, time: float) -> None:
         # HPX recovery: the ready queue is redistributed.  Individual
@@ -351,7 +441,12 @@ class HPXScheduler(Scheduler):
         return 0
 
     def on_ready(self, tid, time, enabler_core=None):
-        dom = self._domain_of_task(tid)
+        table = self._task_dom
+        if table is not None \
+                and self.memory.state_epoch == self._dom_epoch:
+            dom = table[tid]
+        else:
+            dom = self._domain_of_task(tid)
         if self._dom_remap:
             dom = self._dom_remap.get(dom, dom)
         self._queues[dom].append(tid)
@@ -449,17 +544,34 @@ class RegentScheduler(Scheduler):
         self.n_util = max(1, int(round(machine.n_cores * self.util_fraction)))
         self.n_workers = machine.n_cores - self.n_util
         # Serial analysis pipeline: prefix-sum of per-task analysis cost
-        # in program order gives each task's visibility time.
-        costs = np.fromiter(
-            (
-                self.index_launch_cost
-                if t.kernel in INDEX_LAUNCH_KERNELS
-                else self.analysis_cost
-                for t in dag.tasks
-            ),
-            dtype=np.float64,
-            count=len(dag),
-        )
+        # in program order gives each task's visibility time.  Over a
+        # frozen DAG the per-task cost is selected by indexing a tiny
+        # per-kernel table with the interned kernel codes (same values,
+        # same dtype, same cumsum — bit-identical prefix sums).
+        soa = dag.freeze() if hasattr(dag, "freeze") else None
+        if soa is not None:
+            kernel_cost = np.fromiter(
+                (
+                    self.index_launch_cost
+                    if k in INDEX_LAUNCH_KERNELS
+                    else self.analysis_cost
+                    for k in soa.kernel_names
+                ),
+                dtype=np.float64,
+                count=len(soa.kernel_names),
+            )
+            costs = kernel_cost[soa.kernel_codes]
+        else:
+            costs = np.fromiter(
+                (
+                    self.index_launch_cost
+                    if t.kernel in INDEX_LAUNCH_KERNELS
+                    else self.analysis_cost
+                    for t in dag.tasks
+                ),
+                dtype=np.float64,
+                count=len(dag),
+            )
         self._visible = np.cumsum(costs)
         self._visible_replay = np.cumsum(
             np.full(len(dag), self.replay_cost)
@@ -470,6 +582,19 @@ class RegentScheduler(Scheduler):
         # that, with a light overflow raid so starvation shows up as
         # idle time rather than artificial deadlock.
         self._np = max(1, getattr(dag, "n_partitions", 1))
+        # Static point-task homes, vectorized from the frozen param-i
+        # table (exact integer arithmetic — same min/floor-div per
+        # task as _home_worker).
+        if soa is not None:
+            pi = soa.param_i
+            nw = self.n_workers
+            self._home = np.where(
+                pi < 0,
+                np.arange(soa.n_tasks, dtype=np.int64) % nw,
+                np.minimum(nw - 1, pi * nw // self._np),
+            ).tolist()
+        else:
+            self._home = None
         self._worker_q: List[deque] = [deque()
                                        for _ in range(self.n_workers)]
         self._n_ready = 0
@@ -526,7 +651,10 @@ class RegentScheduler(Scheduler):
         return min(self.n_workers - 1, int(i) * self.n_workers // self._np)
 
     def on_ready(self, tid, time, enabler_core=None):
-        self._worker_q[self._home_worker(tid)].append(tid)
+        home = self._home
+        self._worker_q[
+            home[tid] if home is not None else self._home_worker(tid)
+        ].append(tid)
         self._n_ready += 1
         tr = self.tracer
         if tr is not None:

@@ -1,9 +1,21 @@
-"""Property-based tests: DAG construction and scheduling invariants."""
+"""Property-based tests: DAG construction and scheduling invariants.
+
+Includes the structure-of-arrays equivalence suite: the frozen
+:class:`~repro.graph.dag.GraphArrays` view (vectorized levels,
+critical path, CSR adjacency, compiled access plans) is pinned equal —
+bit-identical, not approximately — to the retained per-node reference
+implementations in :mod:`repro.graph.analyze` on random DAGs.
+"""
+
+import pickle
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.graph.analyze import critical_path_reference, levels_reference
 from repro.graph.builder import BuildOptions, DAGBuilder
+from repro.graph.dag import TaskDAG
+from repro.graph.task import DataHandle, Task
 from repro.graph.trace import TraceRecorder
 from repro.machine import broadwell
 from repro.matrices.coo import COOMatrix
@@ -122,7 +134,7 @@ def test_every_policy_executes_every_task_in_dependence_order(
     end_of = {r.tid: r.end for r in res.flow.records}
     start_of = {r.tid: r.start for r in res.flow.records}
     assert len(end_of) == len(dag)  # each task exactly once
-    for (u, v) in dag._edge_set:
+    for (u, v) in dag._edge_pairs():
         assert end_of[u] <= start_of[v] + 1e-12
 
 
@@ -137,3 +149,120 @@ def test_charges_are_finite_positive(dag):
         ch = cm.charge(t, 0)
         assert np.isfinite(ch.duration) and ch.duration >= 0
         assert all(m >= 0 for m in ch.misses)
+
+
+# ----------------------------------------------------------------------
+# Structure-of-arrays equivalence: the frozen GraphArrays view must
+# answer every query bit-identically to the retained per-node
+# reference implementations.
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_bare_dag(draw):
+    """A random DAG of synthetic tasks — edges drawn freely, not via
+    the builder — to exercise shapes (fan-in/fan-out, isolated nodes,
+    empty edge sets) the solver builder never produces."""
+    n = draw(st.integers(1, 40))
+    dag = TaskDAG()
+    for i in range(n):
+        dag.add_task(Task(
+            -1, "COPY",
+            (DataHandle("x", i, 64),), (DataHandle("y", i, 64),),
+            {"rows": 1, "width": 1}, {"i": i},
+        ))
+    max_edges = min(120, n * (n - 1) // 2)
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=max_edges,
+    ))
+    for u, v in pairs:
+        if u != v:
+            dag.add_edge(min(u, v), max(u, v))  # forward edges: acyclic
+    return dag
+
+
+_dag_strategies = st.one_of(random_problem(), random_bare_dag())
+
+
+@given(_dag_strategies)
+@settings(max_examples=30, deadline=None)
+def test_levels_match_reference(dag):
+    assert dag.levels() == levels_reference(dag)
+
+
+@given(_dag_strategies)
+@settings(max_examples=30, deadline=None)
+def test_critical_path_matches_reference(dag):
+    assert dag.critical_path() == critical_path_reference(dag)
+    # A weight function that varies per task and is registry-free.
+    w = lambda t: 0.25 + (t.tid % 7) * 1.5  # noqa: E731
+    assert dag.critical_path(weight=w) == critical_path_reference(dag, w)
+
+
+@given(_dag_strategies)
+@settings(max_examples=30, deadline=None)
+def test_soa_adjacency_matches_lists(dag):
+    soa = dag.freeze()
+    n = len(dag)
+    assert soa.n_tasks == n
+    assert soa.n_edges == sum(len(vs) for vs in dag.succ) == dag.n_edges
+    sp, si = soa.succ_indptr, soa.succ_indices
+    pp, pi = soa.pred_indptr, soa.pred_indices
+    for u in range(n):
+        assert si[sp[u]:sp[u + 1]].tolist() == dag.succ[u]
+        assert pi[pp[u]:pp[u + 1]].tolist() == dag.pred[u]
+        assert int(soa.indegree[u]) == len(dag.pred[u])
+
+
+@given(_dag_strategies)
+@settings(max_examples=25, deadline=None)
+def test_soa_operand_tables_match_tasks(dag):
+    soa = dag.freeze()
+    key_to_id, id_to_key = dag.handle_interning()
+    assert soa.id_to_key == id_to_key
+    for t in dag.tasks:
+        tid = t.tid
+        a, b = soa.read_indptr[tid], soa.read_indptr[tid + 1]
+        assert [id_to_key[i] for i in soa.read_ids[a:b]] == \
+            [(h.name, h.part) for h in t.reads]
+        a, b = soa.write_indptr[tid], soa.write_indptr[tid + 1]
+        assert [id_to_key[i] for i in soa.write_ids[a:b]] == \
+            [(h.name, h.part) for h in t.writes]
+        a, b = soa.touch_indptr[tid], soa.touch_indptr[tid + 1]
+        touched = t.touched()
+        assert [id_to_key[i] for i in soa.touch_ids[a:b]] == \
+            [(h.name, h.part) for h in touched]
+        assert soa.touch_nbytes[a:b].tolist() == \
+            [h.nbytes for h in touched]
+        assert soa.kernel_names[soa.kernel_codes[tid]] == t.kernel
+
+
+@given(random_problem())
+@settings(max_examples=15, deadline=None)
+def test_soa_compiled_plans_match_reference(dag):
+    """SoA plan compiler == handle-object plan compiler, tuple-exact."""
+    bw = broadwell()
+    cm = CostModel(bw, CacheHierarchy(bw), MemoryModel(bw, n_parts=16))
+    key_to_id, _ = dag.handle_interning()
+    soa = dag.freeze()
+    via_soa = cm._compile_plans(dag.tasks, key_to_id, soa)
+    via_ref = cm._compile_plans(dag.tasks, key_to_id, None)
+    assert via_soa == via_ref
+
+
+@given(random_problem())
+@settings(max_examples=10, deadline=None)
+def test_frozen_dag_pickle_roundtrip(dag):
+    """Pickling (what the prep store does) preserves the whole graph;
+    the dropped edge-dedup set is rebuilt lazily and stays correct."""
+    dag.freeze()
+    clone = pickle.loads(pickle.dumps(dag))
+    assert clone.n_edges == dag.n_edges
+    assert clone.succ == dag.succ and clone.pred == dag.pred
+    assert clone.levels() == dag.levels()
+    assert clone._edge_set is None  # dropped by __getstate__
+    if clone.n_edges:  # re-adding an existing edge must still dedup
+        u = next(i for i, vs in enumerate(clone.succ) if vs)
+        v = clone.succ[u][0]
+        clone.add_edge(u, v)
+        assert clone.n_edges == dag.n_edges
