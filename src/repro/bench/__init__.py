@@ -32,6 +32,7 @@ from repro.bench.runner import (
     ExperimentRunner,
     REGENT_BLOCK_COUNT,
     SweepError,
+    WorkerFailure,
     expand_grid,
     run_cell_config,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "REGENT_BLOCK_COUNT",
     "ResultCache",
     "SweepError",
+    "WorkerFailure",
     "cache_key",
     "default_cache",
     "default_prep_store",

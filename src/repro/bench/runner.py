@@ -18,9 +18,12 @@ into the caller's order, so ``--jobs 8`` returns exactly what
 
 from __future__ import annotations
 
+import contextlib
+import io
 import math
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -36,6 +39,7 @@ __all__ = [
     "ExperimentRunner",
     "REGENT_BLOCK_COUNT",
     "SweepError",
+    "WorkerFailure",
     "expand_grid",
     "run_cell_config",
 ]
@@ -111,21 +115,70 @@ def run_cell_config(config: dict) -> RunResultSummary:
     ).summary()
 
 
+#: Stderr-tail capture budget: what a failure record retains of the
+#: worker's stderr stream (warnings, native-library chatter, and the
+#: formatted traceback).  Bounded so a chatty cell can't bloat the
+#: failure table or the service audit log.
+STDERR_TAIL_LINES = 20
+STDERR_TAIL_CHARS = 4000
+
+
+def stderr_tail(text: str, lines: int = STDERR_TAIL_LINES,
+                chars: int = STDERR_TAIL_CHARS) -> str:
+    """Last ``lines`` lines (at most ``chars`` chars) of a stream."""
+    text = text[-chars * 4:]
+    tail = "\n".join(text.splitlines()[-lines:])
+    return tail[-chars:]
+
+
+class WorkerFailure(RuntimeError):
+    """A cell failed in a worker; carries the captured stderr tail.
+
+    Raised by :func:`_pool_worker` instead of the original exception so
+    the parent's failure table (and the serve layer's audit log) can
+    show *what the worker printed* — warnings and the full traceback —
+    not just the exception repr.  Both fields sit in ``args`` so the
+    exception pickles across a ``ProcessPoolExecutor`` intact.
+    """
+
+    def __init__(self, error: str, stderr_tail: str = ""):
+        super().__init__(error, stderr_tail)
+        self.error = error
+        self.stderr_tail = stderr_tail
+
+    def __str__(self) -> str:
+        return self.error
+
+
 def _pool_worker(config: dict) -> tuple:
-    """Child-process entry: plain dicts in, plain dicts out (picklable)."""
+    """Child-process entry: plain dicts in, plain dicts out (picklable).
+
+    The cell runs under stderr capture; on failure the exception is
+    re-raised as a :class:`WorkerFailure` whose tail holds whatever the
+    cell wrote to stderr plus the formatted traceback — the parent
+    process cannot see a pool child's stderr otherwise.
+    """
     t0 = time.perf_counter()
-    summary = run_cell_config(config)
+    buf = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(buf):
+            summary = run_cell_config(config)
+    except Exception as e:
+        traceback.print_exc(file=buf)
+        raise WorkerFailure(f"{type(e).__name__}: {e}",
+                            stderr_tail(buf.getvalue())) from None
     return summary.to_dict(), time.perf_counter() - t0
 
 
 class SweepError(RuntimeError):
     """A sweep finished with cells that failed every retry.
 
-    ``failures`` is a list of ``{"cell", "key", "attempts", "error"}``
-    dicts, one per exhausted cell, in first-appearance order; the
-    message renders them as a table.  Successfully simulated cells were
-    still cached before this was raised, so a re-run only repeats the
-    failed work.
+    ``failures`` is a list of ``{"cell", "key", "attempts", "error",
+    "stderr"}`` dicts, one per exhausted cell, in first-appearance
+    order; the message renders them as a table, with each non-empty
+    stderr tail indented under its cell.  Successfully simulated cells
+    were still cached before this was raised, so a re-run only repeats
+    the failed work.
     """
 
     def __init__(self, failures: List[dict]):
@@ -135,6 +188,8 @@ class SweepError(RuntimeError):
             lines.append(
                 f"  {f['cell']}  attempts={f['attempts']}  {f['error']}"
             )
+            for tail_line in (f.get("stderr") or "").splitlines():
+                lines.append(f"      stderr| {tail_line}")
         super().__init__("\n".join(lines))
 
 
@@ -305,7 +360,7 @@ class ExperimentRunner:
         simulated and cached before the raise.
         """
         attempt_count: Dict[str, int] = {k: 0 for k in miss_keys}
-        failures: Dict[str, str] = {}
+        failures: Dict[str, tuple] = {}  # key -> (error, stderr tail)
         pending = list(miss_keys)
         if self.jobs > 1 and len(pending) > 1:
             pending = self._run_pool(pending, attempt_count, failures,
@@ -315,15 +370,28 @@ class ExperimentRunner:
         if failures:
             raise SweepError([
                 {"cell": labels[k], "key": k,
-                 "attempts": attempt_count[k], "error": failures[k]}
+                 "attempts": attempt_count[k],
+                 "error": failures[k][0], "stderr": failures[k][1]}
                 for k in miss_keys if k in failures
             ])
 
+    @staticmethod
+    def _failure_fields(exc: BaseException) -> tuple:
+        """(error text, stderr tail) of a worker exception.
+
+        :class:`WorkerFailure` carries its own captured tail; anything
+        else (injected test workers, pickling errors) degrades to the
+        plain exception repr with an empty tail.
+        """
+        if isinstance(exc, WorkerFailure):
+            return exc.error, exc.stderr_tail
+        return f"{type(exc).__name__}: {exc}", ""
+
     def _fail_or_requeue(self, key, exc_text, attempt_count, failures,
-                         next_pending) -> None:
+                         next_pending, stderr: str = "") -> None:
         attempt_count[key] += 1
         if attempt_count[key] >= self.attempts:
-            failures[key] = exc_text
+            failures[key] = (exc_text, stderr)
         else:
             next_pending.append(key)
 
@@ -407,9 +475,10 @@ class ExperimentRunner:
                             next_pending.append(key)
                             broken = True
                         except Exception as e:  # clean worker failure
+                            text, tail = self._failure_fields(e)
                             self._fail_or_requeue(
-                                key, f"{type(e).__name__}: {e}",
-                                attempt_count, failures, next_pending,
+                                key, text, attempt_count, failures,
+                                next_pending, stderr=tail,
                             )
                         else:
                             summary = RunResultSummary.from_dict(
@@ -446,7 +515,7 @@ class ExperimentRunner:
                 except Exception as e:
                     attempt_count[key] += 1
                     if attempt_count[key] >= self.attempts:
-                        failures[key] = f"{type(e).__name__}: {e}"
+                        failures[key] = self._failure_fields(e)
                         break
                     if self.backoff:
                         time.sleep(

@@ -208,6 +208,56 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--width", type=int, default=None,
                    help="vector-block width override (default: the "
                         "solver's paper width)")
+
+    s = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (JSON over HTTP): "
+             "single-flight coalescing on the result-cache key, warm "
+             "worker pool, bounded queue with 429 backpressure, "
+             "/healthz + /metrics, graceful SIGTERM drain",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8477,
+                   help="0 = pick an ephemeral port (announced on "
+                        "stdout)")
+    s.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = inline threads; the "
+                        "test/smoke configuration)")
+    s.add_argument("--backlog", type=int, default=64,
+                   help="max distinct pending computations before "
+                        "single-cell submits get 429 + Retry-After")
+    s.add_argument("--batch-max", type=int, default=8,
+                   help="dispatcher batch size (coalesces prep "
+                        "prebuilds across queued cells)")
+    s.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall budget in the pool, seconds")
+    s.add_argument("--attempts", type=int, default=2)
+    s.add_argument("--audit", metavar="FILE", default=None,
+                   help="per-request JSONL audit log (crash-safe "
+                        ".part file, published atomically on drain)")
+
+    s = sub.add_parser(
+        "submit",
+        help="submit one cell to a running daemon and print the "
+             "summary (bit-identical to running the cell locally)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8477)
+    s.add_argument("--matrix", required=True)
+    s.add_argument("--solver", choices=["lanczos", "lobpcg"],
+                   default="lanczos")
+    s.add_argument("--version",
+                   choices=["libcsr", "libcsb", "deepsparse", "hpx",
+                            "regent"],
+                   default="deepsparse")
+    s.add_argument("--machine", choices=["broadwell", "epyc"],
+                   default="broadwell")
+    s.add_argument("--block-count", type=int, default=None)
+    s.add_argument("--iterations", type=int, default=2)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--json", action="store_true",
+                   help="print the raw response payload instead of "
+                        "the human summary line")
     return p
 
 
@@ -597,6 +647,62 @@ def _cmd_prep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.service import ServeConfig, serve_main
+
+    config = ServeConfig(host=args.host, port=args.port,
+                         jobs=args.jobs, backlog=args.backlog,
+                         batch_max=args.batch_max,
+                         timeout=args.timeout, attempts=args.attempts,
+                         audit_path=args.audit)
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    return asyncio.run(serve_main(config, announce=announce))
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve.client import ServiceClient, ServiceError
+
+    fields = {"machine": args.machine, "matrix": args.matrix,
+              "solver": args.solver, "version": args.version,
+              "iterations": args.iterations, "seed": args.seed}
+    if args.block_count is not None:
+        fields["block_count"] = args.block_count
+    with ServiceClient(args.host, args.port) as client:
+        try:
+            payload = client.submit_cell(**fields)
+        except ServiceError as e:
+            print(f"error: {e}", file=sys.stderr)
+            tail = e.payload.get("stderr_tail")
+            if tail:
+                for line in str(tail).splitlines():
+                    print(f"  stderr| {line}", file=sys.stderr)
+            if e.retry_after_s is not None:
+                print(f"  retry after {e.retry_after_s:.2f} s",
+                      file=sys.stderr)
+            return 1
+        except OSError as e:
+            print(f"error: cannot reach daemon at "
+                  f"{args.host}:{args.port}: {e}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    s = payload["summary"]
+    per_it = s["total_time"] / max(1, len(s["iteration_times"]))
+    print(f"{args.machine}/{args.matrix}/{args.solver}/{args.version} "
+          f"[{payload['source']}] total={s['total_time']:.6f}s "
+          f"per-iter={per_it:.6f}s cores={s['n_cores']} "
+          f"tasks/iter={s['n_tasks_per_iteration']}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -609,6 +715,8 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "prep": _cmd_prep,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command]
     try:
         return handler(args)

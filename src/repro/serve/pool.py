@@ -1,0 +1,195 @@
+"""Warm worker pool: persistent processes behind the asyncio service.
+
+:class:`ExperimentRunner` builds a fresh ``ProcessPoolExecutor`` per
+sweep — right for batch jobs, wrong for a daemon, where process
+creation and module import would dominate every cold request.
+:class:`WarmPool` keeps one executor alive across requests: workers
+import the simulation stack once (``initializer``), keep their
+per-process prep-store deserialization memos warm, and from then on a
+cold cell costs only its actual simulation time.
+
+The failure policy is ``ExperimentRunner``'s, re-used rather than
+re-invented (same knobs, same meanings, same table semantics):
+
+* a cell that raises is retried with exponential backoff, up to
+  ``attempts`` tries, then surfaces as :class:`WorkerFailure` with the
+  worker's captured stderr tail;
+* a cell that exceeds ``timeout`` gets the wedged pool killed
+  (:meth:`ExperimentRunner._kill_pool`) and is charged an attempt;
+* a crashed pool (``BrokenProcessPool``) is rebuilt — affected cells
+  are *not* charged an attempt, since a dead sibling worker is not
+  their fault — at most ``max_pool_rebuilds`` times, after which the
+  pool degrades to inline (in-process thread) execution for the rest
+  of its life.
+
+``jobs=0`` selects inline mode outright: every cell runs in a worker
+thread of this process (``asyncio.to_thread``).  That is the test and
+smoke-CI configuration — no fork cost, deterministic, and the GIL is
+irrelevant because the service's own work is I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional
+
+from repro.bench.runner import ExperimentRunner, WorkerFailure, _pool_worker
+
+__all__ = ["WarmPool", "serve_worker"]
+
+
+def _warm_init() -> None:
+    """Worker initializer: pay the import bill once per process."""
+    import repro.analysis.experiment  # noqa: F401  (heavy import chain)
+    import repro.bench.prep           # noqa: F401
+
+
+def serve_worker(config: dict) -> tuple:
+    """Per-request worker entry (module-level: must pickle).
+
+    Delegates to the bench pool worker — same stderr capture, same
+    :class:`WorkerFailure` contract — after an optional artificial
+    delay.  ``REPRO_SERVE_TEST_DELAY`` (seconds) exists so the
+    concurrency tests and the drain test can hold a request in flight
+    deterministically; it is never set in production.
+    """
+    delay = float(os.environ.get("REPRO_SERVE_TEST_DELAY", "0") or 0.0)
+    if delay > 0:
+        time.sleep(delay)
+    return _pool_worker(config)
+
+
+class WarmPool:
+    """One persistent executor, shared by every request.
+
+    Parameters mirror :class:`ExperimentRunner` (``timeout`` /
+    ``attempts`` / ``backoff``); ``worker`` is injectable for the same
+    reason ``ExperimentRunner.pool_worker`` is — the failure-path tests
+    substitute crashing or chatty workers.
+    """
+
+    max_pool_rebuilds = ExperimentRunner.max_pool_rebuilds
+
+    def __init__(self, jobs: int = 0,
+                 timeout: Optional[float] = None,
+                 attempts: int = 2,
+                 backoff: float = 0.25,
+                 worker: Callable[[dict], tuple] = serve_worker,
+                 metrics=None):
+        self.jobs = max(0, int(jobs))
+        self.timeout = timeout
+        self.attempts = max(1, int(attempts))
+        self.backoff = max(0.0, float(backoff))
+        self.worker = worker
+        self.metrics = metrics
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._rebuilds = 0
+        self._inline_only = self.jobs == 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return "inline" if self._inline_only else "process"
+
+    def start(self) -> None:
+        """Spin the workers up ahead of the first request."""
+        if not self._inline_only:
+            self._ensure_pool()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_warm_init)
+            except OSError:
+                # Cannot fork (resource limits): degrade permanently.
+                self._inline_only = True
+                raise
+        return self._pool
+
+    def _retire_pool(self, generation: int, kill: bool) -> None:
+        """Tear down the current pool once per failure generation.
+
+        Concurrent requests all observe the same broken pool; the
+        generation counter makes sure only the first of them rebuilds,
+        and the others simply pick up the fresh executor.
+        """
+        if generation != self._generation:
+            return  # somebody else already rebuilt
+        self._generation += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if kill:
+                ExperimentRunner._kill_pool(pool)
+            else:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._rebuilds += 1
+        if self.metrics is not None:
+            self.metrics.worker_restarts += 1
+        if self._rebuilds > self.max_pool_rebuilds:
+            self._inline_only = True
+
+    # ------------------------------------------------------------------
+    async def run(self, config: dict) -> tuple:
+        """Execute one cell; returns ``(summary_dict, seconds)``.
+
+        Raises :class:`WorkerFailure` once the cell has exhausted its
+        attempts.  Timeouts and pool crashes are absorbed per the
+        policy above.
+        """
+        attempt = 0
+        while True:
+            generation = self._generation
+            if not self._inline_only:
+                try:
+                    pool = self._ensure_pool()
+                except OSError:
+                    continue  # cannot fork: flipped to inline-only
+            try:
+                if self._inline_only:
+                    # No preemption inline (same caveat as the bench
+                    # runner): the request's own client timeout is the
+                    # backstop.
+                    return await asyncio.to_thread(self.worker, config)
+                fut = asyncio.wrap_future(pool.submit(self.worker, config))
+                return await asyncio.wait_for(fut, self.timeout)
+            except asyncio.TimeoutError:
+                self._retire_pool(generation, kill=True)
+                attempt += 1
+                failure = WorkerFailure(
+                    f"timed out (> {self.timeout:.1f} s/cell)")
+            except BrokenProcessPool:
+                # Not charged an attempt — see class docstring.
+                self._retire_pool(generation, kill=False)
+                continue
+            except WorkerFailure as e:
+                attempt += 1
+                failure = e
+            except Exception as e:
+                attempt += 1
+                failure = WorkerFailure(f"{type(e).__name__}: {e}")
+            if attempt >= self.attempts:
+                raise failure
+            if self.metrics is not None:
+                self.metrics.worker_retries += 1
+            if self.backoff:
+                await asyncio.sleep(
+                    self.backoff * 2 ** min(attempt - 1, 4))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "rebuilds": self._rebuilds,
+        }

@@ -191,3 +191,126 @@ def test_clear_removes_entries(tmp_path):
 
 def test_default_cache_is_process_wide_singleton():
     assert default_cache() is default_cache()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: atomic publish + quarantine under racing readers
+# ----------------------------------------------------------------------
+def test_parallel_writers_same_key_yield_one_valid_entry(tmp_path):
+    """Writers racing on one key must leave exactly one intact entry.
+
+    Each thread publishes a *distinguishable* (but valid) summary for
+    the same config while readers hammer the key; every read observes
+    either a miss or one complete writer's entry — never a torn file,
+    never a quarantine.
+    """
+    import dataclasses
+    import threading
+
+    base = _summary()
+    variants = [dataclasses.replace(base, total_time=float(i + 1))
+                for i in range(8)]
+    barrier = threading.Barrier(12)
+    failures = []
+    stop = threading.Event()
+    allowed = {v.total_time for v in variants}
+
+    def writer(summary):
+        cache = ResultCache(root=str(tmp_path))
+        barrier.wait()
+        for _ in range(25):
+            cache.put(CONFIG, summary)
+
+    def reader():
+        cache = ResultCache(root=str(tmp_path))
+        barrier.wait()
+        while not stop.is_set():
+            try:
+                got = cache.get(CONFIG)
+            except Exception as e:  # pragma: no cover - the bug case
+                failures.append(f"reader raised {type(e).__name__}: {e}")
+                return
+            if got is not None and got.total_time not in allowed:
+                failures.append(f"torn read: {got.total_time!r}")
+                return
+        if cache.quarantined:
+            failures.append(f"reader quarantined {cache.quarantined} "
+                            f"entries during clean writes")
+
+    crew = ([threading.Thread(target=writer, args=(v,))
+             for v in variants]
+            + [threading.Thread(target=reader) for _ in range(4)])
+    for t in crew:
+        t.start()
+    for t in crew[:8]:
+        t.join()
+    stop.set()
+    for t in crew[8:]:
+        t.join()
+    assert not failures, failures
+
+    # Exactly one entry on disk, fully valid, from one of the writers.
+    check = ResultCache(root=str(tmp_path))
+    subdir = os.path.dirname(check.path_for(check.key(CONFIG)))
+    entries = [n for n in os.listdir(subdir) if n.endswith(".json")]
+    leftovers = [n for n in os.listdir(subdir) if n.endswith(".tmp")]
+    assert len(entries) == 1
+    assert not leftovers, f"unpublished temp files left: {leftovers}"
+    final = check.get(CONFIG)
+    assert final is not None and final.total_time in allowed
+    assert check.quarantined == 0
+
+
+def test_concurrent_readers_during_quarantine_never_torn(tmp_path):
+    """Readers racing each other over a corrupt entry all see a clean
+    miss (or a valid re-published entry) — the quarantine itself must
+    not expose a half-moved or half-written file to anyone."""
+    import threading
+
+    seed = ResultCache(root=str(tmp_path))
+    summary = _summary()
+    seed.put(CONFIG, summary)
+    path = seed.path_for(seed.key(CONFIG))
+    with open(path, "r+", encoding="utf-8") as f:
+        f.seek(10)
+        f.write("XXXX")              # still JSON-openable, bad checksum
+
+    barrier = threading.Barrier(9)
+    failures = []
+    observed = []
+    lock = threading.Lock()
+
+    def reader():
+        cache = ResultCache(root=str(tmp_path))
+        barrier.wait()
+        for _ in range(50):
+            try:
+                got = cache.get(CONFIG)
+            except Exception as e:  # pragma: no cover - the bug case
+                with lock:
+                    failures.append(f"raised {type(e).__name__}: {e}")
+                return
+            if got is not None and got != summary:
+                with lock:
+                    failures.append("torn entry observed")
+                return
+            with lock:
+                observed.append(got is not None)
+
+    def rewriter():
+        cache = ResultCache(root=str(tmp_path))
+        barrier.wait()
+        for _ in range(25):
+            cache.put(CONFIG, summary)
+
+    crew = ([threading.Thread(target=reader) for _ in range(8)]
+            + [threading.Thread(target=rewriter)])
+    for t in crew:
+        t.start()
+    for t in crew:
+        t.join()
+    assert not failures, failures
+    # The rewriter won in the end: the entry is valid again.
+    final = ResultCache(root=str(tmp_path))
+    assert final.get(CONFIG) == summary
+    assert final.quarantined == 0

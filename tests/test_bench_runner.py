@@ -15,8 +15,10 @@ from repro.bench.runner import (
     ExperimentRunner,
     REGENT_BLOCK_COUNT,
     SweepError,
+    WorkerFailure,
     _pool_worker,
     expand_grid,
+    stderr_tail,
 )
 
 CELLS = [
@@ -226,6 +228,99 @@ def test_exhausted_retries_raise_sweep_error_with_table(tmp_path):
     assert "2 cell(s) failed after retries" in str(err)
     assert CELLS[0].label() in str(err)
     assert "ValueError" in err.failures[0]["error"]
+
+
+def _fail_with_chatter(config):
+    """Writes diagnostics to stderr before dying, like a real cell
+    whose native libraries warn on the way down."""
+    import sys
+
+    print("loading matrix shards", file=sys.stderr)
+    print("shard 7 checksum mismatch", file=sys.stderr)
+    raise ValueError(f"injected chatty failure for {config['version']}")
+
+
+def test_pool_worker_captures_stderr_into_failure(monkeypatch):
+    """The pool worker must ship the cell's stderr + traceback home —
+    the parent cannot see a child process's stderr any other way."""
+    import repro.bench.runner as runner_mod
+
+    def chatty_cell(config):
+        return _fail_with_chatter(config)
+
+    monkeypatch.setattr(runner_mod, "run_cell_config", chatty_cell)
+    with pytest.raises(WorkerFailure) as ei:
+        _pool_worker(CELLS[0].config())
+    failure = ei.value
+    assert failure.error == ("ValueError: injected chatty failure "
+                             "for libcsr")
+    assert "loading matrix shards" in failure.stderr_tail
+    assert "shard 7 checksum mismatch" in failure.stderr_tail
+    assert "Traceback (most recent call last)" in failure.stderr_tail
+    # The exception survives a pickle round trip (pool transport).
+    import pickle
+
+    back = pickle.loads(pickle.dumps(failure))
+    assert back.error == failure.error
+    assert back.stderr_tail == failure.stderr_tail
+
+
+def test_stderr_tail_truncates_long_streams():
+    text = "\n".join(f"line {i}" for i in range(500))
+    tail = stderr_tail(text, lines=5, chars=1000)
+    assert tail.splitlines() == [f"line {i}" for i in range(495, 500)]
+    huge = "x" * 50_000
+    assert len(stderr_tail(huge, lines=5, chars=1000)) <= 1000
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_sweep_error_table_includes_stderr_tail(tmp_path, jobs):
+    """The per-cell failure table carries the worker's stderr tail —
+    inline and across a real process pool (pickled exception args)."""
+    runner = _runner(tmp_path, jobs=jobs, attempts=1, backoff=0.0,
+                     pool_worker=_pool_worker_chatty)
+    with pytest.raises(SweepError) as ei:
+        runner.run_cells(CELLS[:2])
+    err = ei.value
+    assert len(err.failures) == 2
+    for f in err.failures:
+        assert "injected chatty failure" in f["error"]
+        assert "shard 7 checksum mismatch" in f["stderr"]
+        assert "Traceback" in f["stderr"]
+    rendered = str(err)
+    assert "stderr| shard 7 checksum mismatch" in rendered
+    assert rendered.count("stderr|") >= 2  # one block per failed cell
+
+
+def _pool_worker_chatty(config):
+    """Module-level (pool-picklable) worker: a chatty failing cell run
+    through the real capture machinery."""
+    import contextlib
+    import io
+    import traceback
+
+    buf = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(buf):
+            _fail_with_chatter(config)
+    except Exception as e:
+        traceback.print_exc(file=buf)
+        raise WorkerFailure(f"{type(e).__name__}: {e}",
+                            stderr_tail(buf.getvalue())) from None
+    raise AssertionError("unreachable")
+
+
+def test_non_worker_failure_has_empty_stderr_column(tmp_path):
+    """Plain exceptions (no capture machinery) still fill the table,
+    with an empty stderr column rather than a crash or noise."""
+    runner = _runner(tmp_path, jobs=1, attempts=1, backoff=0.0,
+                     pool_worker=_fail_cleanly)
+    with pytest.raises(SweepError) as ei:
+        runner.run_cells(CELLS[:1])
+    f = ei.value.failures[0]
+    assert "ValueError" in f["error"]
+    assert f["stderr"] == ""
+    assert "stderr|" not in str(ei.value)
 
 
 def test_partial_failure_keeps_successes_cached(tmp_path):

@@ -84,3 +84,84 @@ def test_efficiency_below_one(dag, bw):
     r8 = DistributedHPXRuntime(ib_cluster(bw, 8)).execute(dag)
     eff = r8.parallel_efficiency(single)
     assert 0.0 < eff < 1.0
+
+
+# ----------------------------------------------------------------------
+# Property: communication costs are monotone in size and scale
+# ----------------------------------------------------------------------
+# The alpha-beta model only makes physical sense if sending more bytes
+# never gets cheaper and adding nodes never shrinks a collective.  The
+# analysis notebooks lean on this when they sweep payloads and node
+# counts looking for the communication crossover; a regression here
+# would silently bend those curves.
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_FABRICS = [ib_cluster, ethernet_cluster]
+
+_nbytes = st.one_of(
+    st.integers(min_value=0, max_value=1 << 40).map(float),
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+              allow_infinity=False),
+)
+_nodes = st.integers(min_value=1, max_value=4096)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fabric=st.sampled_from(_FABRICS), a=_nbytes, b=_nbytes,
+       n=_nodes)
+def test_message_time_monotone_in_nbytes(bw, fabric, a, b, n):
+    c = fabric(bw, n)
+    lo, hi = sorted((a, b))
+    assert c.message_time(lo) <= c.message_time(hi)
+    assert c.message_time(0) == c.link_latency  # latency floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(fabric=st.sampled_from(_FABRICS), nbytes=_nbytes, a=_nodes,
+       b=_nodes)
+def test_allreduce_time_monotone_in_n_nodes(bw, fabric, nbytes, a, b):
+    lo, hi = sorted((a, b))
+    t_lo = fabric(bw, lo).allreduce_time(nbytes)
+    t_hi = fabric(bw, hi).allreduce_time(nbytes)
+    assert t_lo <= t_hi
+    assert t_lo >= 0.0
+    if lo == 1:
+        assert t_lo == 0.0  # no peers, no traffic
+
+
+@settings(max_examples=60, deadline=None)
+@given(fabric=st.sampled_from(_FABRICS), n=_nodes, a=_nbytes,
+       b=_nbytes)
+def test_allreduce_time_monotone_in_nbytes(bw, fabric, n, a, b):
+    c = fabric(bw, n)
+    lo, hi = sorted((a, b))
+    assert c.allreduce_time(lo) <= c.allreduce_time(hi)
+    # An allreduce is at least as deep as one message round trip.
+    if n > 1:
+        assert c.allreduce_time(lo) >= 2 * c.message_time(lo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fabric=st.sampled_from(_FABRICS), a=_nodes, b=_nodes)
+def test_barrier_time_monotone_in_n_nodes(bw, fabric, a, b):
+    lo, hi = sorted((a, b))
+    t_lo = fabric(bw, lo).barrier_time()
+    t_hi = fabric(bw, hi).barrier_time()
+    assert t_lo <= t_hi
+    if lo == 1:
+        assert t_lo == 0.0
+    # A barrier moves no payload: it never costs more than the same
+    # tree pushing actual bytes.
+    assert t_hi <= fabric(bw, hi).allreduce_time(0.0) or hi == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(nbytes=_nbytes, n=_nodes)
+def test_ib_beats_ethernet_everywhere(bw, nbytes, n):
+    """The presets keep their physical ordering at every operating
+    point: the faster fabric is never priced above the slower one."""
+    ib, eth = ib_cluster(bw, n), ethernet_cluster(bw, n)
+    assert ib.message_time(nbytes) <= eth.message_time(nbytes)
+    assert ib.allreduce_time(nbytes) <= eth.allreduce_time(nbytes)
+    assert ib.barrier_time() <= eth.barrier_time()
