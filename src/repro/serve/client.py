@@ -35,18 +35,30 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
+    #: Failure shapes of a *stale keep-alive* socket: the server (or a
+    #: router upstream) closed the idle connection after our previous
+    #: request, and we only find out when the next write/read fails.
+    #: These — and only these — are safe to retry on a fresh
+    #: connection, because the request was never processed.
+    _STALE_ERRORS = (http.client.RemoteDisconnected,
+                     http.client.BadStatusLine,
+                     ConnectionResetError,
+                     BrokenPipeError)
+
     def __init__(self, host: str = "127.0.0.1", port: int = 8477,
                  timeout: float = 120.0):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_uses = 0   # requests completed on self._conn
 
     # -- transport -----------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout)
+            self._conn_uses = 0
         return self._conn
 
     def close(self) -> None:
@@ -65,25 +77,36 @@ class ServiceClient:
                 doc: Optional[dict] = None) -> tuple:
         """One round trip; returns ``(status, payload dict)``.
 
-        Retries exactly once on a dropped keep-alive connection (the
-        server is allowed to close an idle one between our requests);
-        never retries anything the server actually answered.
+        Retries exactly once — and only when the failure is a stale
+        keep-alive socket (:attr:`_STALE_ERRORS`) on a connection that
+        already served at least one request.  The server may close an
+        idle keep-alive between our requests, so that shape means "the
+        request never arrived" and a replay on a fresh connection is
+        safe.  A failure on a *fresh* connection (server genuinely
+        down), a timeout (request may be mid-compute), or any other
+        transport error surfaces immediately: the client must never
+        guess about work the server may have started.
         """
         body = (json.dumps(doc, sort_keys=True).encode("utf-8")
                 if doc is not None else None)
         headers = {"Content-Type": "application/json"} if body else {}
         for attempt in (0, 1):
             conn = self._connection()
+            was_idle_reuse = self._conn_uses > 0
             try:
                 conn.request(method, path, body=body, headers=headers)
                 resp = conn.getresponse()
                 raw = resp.read()
+                self._conn_uses += 1
                 break
+            except self._STALE_ERRORS:
+                self.close()
+                if attempt or not was_idle_reuse:
+                    raise
             except (http.client.HTTPException, ConnectionError,
                     socket.timeout, OSError):
                 self.close()
-                if attempt:
-                    raise
+                raise
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):

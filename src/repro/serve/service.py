@@ -65,9 +65,8 @@ from repro.bench.runner import (
 from repro.serve.http import (
     HttpError,
     Request,
+    handle_http_connection,
     json_response,
-    read_request,
-    response_bytes,
 )
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WarmPool, serve_worker
@@ -81,7 +80,9 @@ __all__ = [
     "BackgroundService",
     "ServeConfig",
     "SimulationService",
+    "cell_to_doc",
     "normalize_cell",
+    "sweep_cells_from_doc",
 ]
 
 _MACHINES = ("broadwell", "epyc")
@@ -180,6 +181,56 @@ def normalize_cell(doc: dict) -> Cell:
                 first_touch=first_touch, seed=seed)
 
 
+def sweep_cells_from_doc(doc: dict, max_cells: int):
+    """Validate a ``/v1/sweep`` body into a list of :class:`Cell`.
+
+    Shared by the daemon and the cluster router so both endpoints
+    accept the exact same grid vocabulary and enforce the same size
+    limit.  Every reachable failure is an :class:`HttpError` 400.
+    """
+    grid_fields = {"machines", "matrices", "solvers", "versions",
+                   "block_counts", "iterations", "width",
+                   "first_touch", "seed"}
+    unknown = set(doc) - grid_fields
+    if unknown:
+        raise HttpError(400, f"unknown sweep field(s): "
+                             f"{', '.join(sorted(unknown))}")
+    if not doc.get("matrices"):
+        raise HttpError(400, "'matrices' (non-empty list) required")
+    try:
+        cells = expand_grid(
+            machines=doc.get("machines", ("broadwell",)),
+            matrices=doc["matrices"],
+            solvers=doc.get("solvers", ("lanczos",)),
+            versions=doc.get("versions",
+                             ("libcsr", "libcsb", "deepsparse",
+                              "hpx", "regent")),
+            block_counts=doc.get("block_counts"),
+            iterations=int(doc.get("iterations", 2)),
+            width=doc.get("width"),
+            first_touch=bool(doc.get("first_touch", True)),
+            seed=int(doc.get("seed", 0)),
+        )
+    except (TypeError, ValueError) as e:
+        raise HttpError(400, f"bad sweep grid: {e}") from None
+    if len(cells) > max_cells:
+        raise HttpError(400, f"sweep of {len(cells)} cells exceeds "
+                             f"the {max_cells}-cell limit")
+    return cells
+
+
+def cell_to_doc(cell: Cell) -> dict:
+    """One grid cell as a ``/v1/cell`` request body."""
+    return {
+        "machine": cell.machine, "matrix": cell.matrix,
+        "solver": cell.solver, "version": cell.version,
+        "block_count": cell.block_count,
+        "iterations": cell.iterations,
+        **({"width": cell.width} if cell.width is not None else {}),
+        "first_touch": cell.first_touch, "seed": cell.seed,
+    }
+
+
 @dataclass
 class ServeConfig:
     """Everything ``repro serve`` can be told from the command line."""
@@ -207,7 +258,107 @@ class _Pending(NamedTuple):
     future: asyncio.Future
 
 
-class SimulationService:
+class JsonDaemonBase:
+    """The HTTP-daemon half shared by the service and cluster router.
+
+    Owns everything that is identical whether the process *computes*
+    cells or *routes* them: the asyncio server lifecycle, per-
+    connection handling, request accounting (`_respond` wraps the
+    subclass's ``_route``), the Retry-After header contract, and the
+    JSONL audit stream.  Subclasses provide ``config`` (``host`` /
+    ``port`` / ``audit_path`` attributes), ``metrics`` (anything with
+    ``count_request``), and an async ``_route(req)`` returning
+    ``(status, payload, source, key, n_cells)``.
+    """
+
+    config = None
+    metrics = None
+
+    def _init_daemon(self) -> None:
+        self.port: Optional[int] = None      # resolved after start()
+        self._active_requests = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self._audit: Optional[JSONLSink] = None
+        if self.config.audit_path:
+            self._audit = JSONLSink(self.config.audit_path)
+
+    async def _start_server(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def _close_server(self) -> None:
+        """Stop accepting, then reap idle keep-alive connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+
+    # -- HTTP layer ----------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        await handle_http_connection(reader, writer, self._respond,
+                                     self._conn_tasks)
+
+    async def _respond(self, req: Request) -> bytes:
+        t0 = time.perf_counter()
+        self._active_requests += 1
+        headers = None
+        key = None
+        cells = 1
+        try:
+            try:
+                status, payload, source, key, cells = \
+                    await self._route(req)
+            except HttpError as e:
+                status, payload, source = e.status, \
+                    {"error": e.detail}, "invalid"
+                self.metrics.count_request(
+                    source, time.perf_counter() - t0)
+            except Exception as e:
+                status, payload, source = 500, \
+                    {"error": f"{type(e).__name__}: {e}"}, "error"
+                self.metrics.count_request(
+                    source, time.perf_counter() - t0)
+            if status == 429 and "retry_after_s" in payload:
+                headers = {"Retry-After":
+                           str(max(1, int(payload["retry_after_s"])))}
+            if source is not None and not req.path.startswith(
+                    ("/healthz", "/metrics")):
+                self._audit_emit(req, key, source, status,
+                                 time.perf_counter() - t0,
+                                 payload.get("error"), cells)
+            _, wire = json_response(status, payload,
+                                    extra_headers=headers,
+                                    keep_alive=req.keep_alive)
+            return wire
+        finally:
+            self._active_requests -= 1
+
+    def _audit_emit(self, req: Request, key, source, status, latency,
+                    error, cells) -> None:
+        if self._audit is None:
+            return
+        try:
+            self._audit.emit(AuditEvent(
+                wall=time.time(), method=req.method, path=req.path,
+                key=key, source=source, status=status,
+                latency_s=latency,
+                error=str(error) if error else None, cells=cells))
+        except Exception:
+            pass  # the audit stream must never take a request down
+
+
+class SimulationService(JsonDaemonBase):
     """The daemon: routes, queue, single-flight table, dispatcher."""
 
     def __init__(self, config: Optional[ServeConfig] = None):
@@ -224,34 +375,21 @@ class SimulationService:
                              backoff=self.config.backoff,
                              worker=self.config.worker,
                              metrics=self.metrics)
-        self.port: Optional[int] = None      # resolved after start()
+        self._init_daemon()
         self._inflight: Dict[str, asyncio.Future] = {}
         self._queue: asyncio.Queue = asyncio.Queue()
         self._space = asyncio.Condition()
         self._pending_compute = 0
-        self._active_requests = 0
-        self._draining = False
-        self._stopped = asyncio.Event()
-        self._server: Optional[asyncio.base_events.Server] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._compute_tasks: set = set()
-        self._conn_tasks: set = set()
         self._sem = asyncio.Semaphore(max(1, self.config.jobs))
         self._prebuilt: set = set()
-        self._audit: Optional[JSONLSink] = None
-        if self.config.audit_path:
-            self._audit = JSONLSink(self.config.audit_path)
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
         self.pool.start()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
-        self.port = self._server.sockets[0].getsockname()[1]
-
-    async def serve_until_stopped(self) -> None:
-        await self._stopped.wait()
+        await self._start_server()
 
     async def drain(self) -> None:
         """Graceful shutdown: finish admitted work, refuse the rest.
@@ -286,17 +424,7 @@ class SimulationService:
         self.pool.close()
         if self._audit is not None:
             self._audit.close()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        # Idle keep-alive connections are parked in read_request();
-        # cancel their handlers (absorbed as a clean close) so nothing
-        # lingers into loop shutdown.
-        for task in list(self._conn_tasks):
-            task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*list(self._conn_tasks),
-                                 return_exceptions=True)
+        await self._close_server()
         self._stopped.set()
 
     # -- the single-flight submit path ---------------------------------
@@ -469,78 +597,6 @@ class SimulationService:
             item.future.set_result(summary)
 
     # -- HTTP layer ----------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
-        task = asyncio.current_task()
-        self._conn_tasks.add(task)
-        try:
-            while True:
-                try:
-                    req = await read_request(reader)
-                except HttpError as e:
-                    _, wire = json_response(e.status,
-                                            {"error": e.detail},
-                                            keep_alive=False)
-                    writer.write(wire)
-                    await writer.drain()
-                    break
-                if req is None:
-                    break
-                wire = await self._respond(req)
-                writer.write(wire)
-                await writer.drain()
-                if not req.keep_alive:
-                    break
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # client went away; nothing to salvage
-        except asyncio.CancelledError:
-            # Drain closes idle keep-alive connections by cancelling
-            # their handlers; finishing normally (instead of staying
-            # "cancelled") sidesteps a noisy 3.11 asyncio.streams
-            # done-callback and lets the writer close cleanly below.
-            pass
-        finally:
-            self._conn_tasks.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _respond(self, req: Request) -> bytes:
-        t0 = time.perf_counter()
-        self._active_requests += 1
-        headers = None
-        key = None
-        cells = 1
-        try:
-            try:
-                status, payload, source, key, cells = \
-                    await self._route(req)
-            except HttpError as e:
-                status, payload, source = e.status, \
-                    {"error": e.detail}, "invalid"
-                self.metrics.count_request(
-                    source, time.perf_counter() - t0)
-            except Exception as e:
-                status, payload, source = 500, \
-                    {"error": f"{type(e).__name__}: {e}"}, "error"
-                self.metrics.count_request(
-                    source, time.perf_counter() - t0)
-            if status == 429 and "retry_after_s" in payload:
-                headers = {"Retry-After":
-                           str(max(1, int(payload["retry_after_s"])))}
-            if source is not None and not req.path.startswith(
-                    ("/healthz", "/metrics")):
-                self._audit_emit(req, key, source, status,
-                                 time.perf_counter() - t0,
-                                 payload.get("error"), cells)
-            _, wire = json_response(status, payload,
-                                    extra_headers=headers,
-                                    keep_alive=req.keep_alive)
-            return wire
-        finally:
-            self._active_requests -= 1
-
     async def _route(self, req: Request) -> tuple:
         """-> (status, payload, source, key, n_cells)."""
         if req.path == "/healthz":
@@ -560,49 +616,14 @@ class SimulationService:
         raise HttpError(404, f"no route for {req.path}")
 
     async def _route_sweep(self, doc: dict) -> tuple:
-        grid_fields = {"machines", "matrices", "solvers", "versions",
-                       "block_counts", "iterations", "width",
-                       "first_touch", "seed"}
-        unknown = set(doc) - grid_fields
-        if unknown:
-            raise HttpError(400, f"unknown sweep field(s): "
-                                 f"{', '.join(sorted(unknown))}")
-        if not doc.get("matrices"):
-            raise HttpError(400, "'matrices' (non-empty list) required")
-        try:
-            cells = expand_grid(
-                machines=doc.get("machines", ("broadwell",)),
-                matrices=doc["matrices"],
-                solvers=doc.get("solvers", ("lanczos",)),
-                versions=doc.get("versions",
-                                 ("libcsr", "libcsb", "deepsparse",
-                                  "hpx", "regent")),
-                block_counts=doc.get("block_counts"),
-                iterations=int(doc.get("iterations", 2)),
-                width=doc.get("width"),
-                first_touch=bool(doc.get("first_touch", True)),
-                seed=int(doc.get("seed", 0)),
-            )
-        except (TypeError, ValueError) as e:
-            raise HttpError(400, f"bad sweep grid: {e}") from None
-        if len(cells) > self.config.max_sweep_cells:
-            raise HttpError(400, f"sweep of {len(cells)} cells exceeds "
-                                 f"the {self.config.max_sweep_cells}-"
-                                 f"cell limit")
+        cells = sweep_cells_from_doc(doc, self.config.max_sweep_cells)
         # Every cell goes through the one submit path, so dedupe,
         # caching, and single-flight apply exactly as for single
         # requests — a sweep racing identical single submits coalesces
         # with them.  Cells *wait* for backlog space rather than 429.
         results = await asyncio.gather(*[
-            self.submit_cell(dict(doc_cell), wait=True)
-            for doc_cell in ({
-                "machine": c.machine, "matrix": c.matrix,
-                "solver": c.solver, "version": c.version,
-                "block_count": c.block_count,
-                "iterations": c.iterations,
-                **({"width": c.width} if c.width is not None else {}),
-                "first_touch": c.first_touch, "seed": c.seed,
-            } for c in cells)
+            self.submit_cell(cell_to_doc(c), wait=True)
+            for c in cells
         ])
         entries = []
         worst = 200
@@ -637,19 +658,6 @@ class SimulationService:
         snap["draining"] = self._draining
         snap["cost_model_version"] = COST_MODEL_VERSION
         return snap
-
-    def _audit_emit(self, req: Request, key, source, status, latency,
-                    error, cells) -> None:
-        if self._audit is None:
-            return
-        try:
-            self._audit.emit(AuditEvent(
-                wall=time.time(), method=req.method, path=req.path,
-                key=key, source=source, status=status,
-                latency_s=latency,
-                error=str(error) if error else None, cells=cells))
-        except Exception:
-            pass  # the audit stream must never take a request down
 
 
 # ----------------------------------------------------------------------
@@ -695,7 +703,14 @@ class BackgroundService:
             ...
 
     ``stop()`` performs the same graceful drain as SIGTERM.
+
+    Subclasses point ``daemon_class`` at any object with the same
+    lifecycle protocol (``start`` / ``port`` / ``serve_until_stopped``
+    / ``drain``) — :class:`repro.serve.router.BackgroundRouter` runs
+    the cluster router this way.
     """
+
+    daemon_class = SimulationService
 
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig(port=0)
@@ -720,7 +735,7 @@ class BackgroundService:
 
     def _run(self) -> None:
         async def main():
-            self.service = SimulationService(self.config)
+            self.service = self.daemon_class(self.config)
             try:
                 await self.service.start()
             except BaseException as e:

@@ -1,0 +1,296 @@
+"""Local shard supervisor: spawn, monitor, and restart ``repro serve``.
+
+``repro cluster --shards N`` wants N worker daemons without asking the
+operator to run N terminals.  The supervisor owns that: it spawns each
+shard as a ``python -m repro serve --port 0`` subprocess, parses the
+announced port from the shard's log, watches the processes from a
+monitor thread, and restarts a dead shard with exponential backoff.
+
+Design points that matter to the router sitting on top:
+
+* **Stable names, ephemeral ports.**  Shards are named ``shard-0`` …
+  ``shard-N-1`` forever; every (re)incarnation binds a fresh ephemeral
+  port.  The ring hashes names, so a restart changes a shard's
+  endpoint without moving a single placement.
+* **Per-shard cache domains.**  Each shard gets its own
+  ``REPRO_CACHE_DIR`` under the supervisor's base directory, so the
+  cluster's exactly-once property is real (a cell cached on shard A is
+  *not* visible to shard B — only correct routing prevents recompute).
+* **Per-incarnation audit logs.**  ``<name>.<incarnation>.audit.jsonl``
+  — a SIGKILLed shard leaves its ``.part`` file behind as crash
+  evidence, and the restarted incarnation must never clobber it.
+* **Membership pushes, not polls.**  Every spawn/death/restart calls
+  ``on_membership(members)`` so the router's ring follows the cluster
+  within a monitor tick (the router's own health probes cover the
+  in-between).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["ClusterSupervisor", "ShardProcess"]
+
+_PORT_RE = re.compile(r"listening on http://[^:]+:(\d+)")
+
+
+class ShardProcess:
+    """One supervised shard: name + current incarnation's process."""
+
+    def __init__(self, name: str, base_dir: str):
+        self.name = name
+        self.base_dir = base_dir
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.incarnation = 0          # bumped on every (re)spawn
+        self.restarts = 0             # lifetime restarts (spawns - 1)
+        self.failures = 0             # consecutive deaths (backoff exp)
+        self.next_spawn_at = 0.0      # monotonic; backoff gate
+        self.log_path: Optional[str] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def audit_path(self) -> str:
+        return os.path.join(self.base_dir, "audit",
+                            f"{self.name}.{self.incarnation}.audit.jsonl")
+
+    def cache_dir(self) -> str:
+        return os.path.join(self.base_dir, "cache", self.name)
+
+
+class ClusterSupervisor:
+    """Spawn and babysit N ``repro serve`` shards.
+
+    ::
+
+        sup = ClusterSupervisor(3, base_dir, jobs=0)
+        sup.start()                       # blocks until all ports known
+        router_cfg.members = sup.members()
+        sup.on_membership = router.update_members_threadsafe
+        ...
+        sup.stop()                        # SIGTERM + graceful wait
+
+    The monitor thread notices a dead shard within ``poll_interval``
+    and respawns it after an exponential backoff
+    (``backoff_base * 2**consecutive_failures``, capped) so a shard
+    crash-looping on bad state cannot busy-spin the machine.
+    """
+
+    def __init__(self, n_shards: int, base_dir: str, *,
+                 jobs: int = 0, host: str = "127.0.0.1",
+                 backlog: int = 64,
+                 poll_interval: float = 0.2,
+                 backoff_base: float = 0.5,
+                 backoff_cap: float = 10.0,
+                 startup_timeout: float = 60.0,
+                 extra_env: Optional[dict] = None,
+                 on_membership: Optional[Callable[[dict], None]] = None):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.base_dir = os.path.abspath(base_dir)
+        self.jobs = jobs
+        self.host = host
+        self.backlog = backlog
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.startup_timeout = startup_timeout
+        self.extra_env = dict(extra_env or {})
+        self.on_membership = on_membership
+        self.shards = [ShardProcess(f"shard-{i}", self.base_dir)
+                       for i in range(n_shards)]
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- membership ----------------------------------------------------
+    def members(self) -> Dict[str, Tuple[str, int]]:
+        """Shards currently alive with a known port."""
+        with self._lock:
+            return {s.name: (self.host, s.port) for s in self.shards
+                    if s.alive and s.port is not None}
+
+    def _notify(self) -> None:
+        if self.on_membership is not None:
+            try:
+                self.on_membership(self.members())
+            except Exception:
+                pass  # a router mid-shutdown must not kill the monitor
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ClusterSupervisor":
+        for sub in ("audit", "cache", "logs"):
+            os.makedirs(os.path.join(self.base_dir, sub), exist_ok=True)
+        for shard in self.shards:
+            self._spawn(shard)
+        deadline = time.monotonic() + self.startup_timeout
+        for shard in self.shards:
+            self._await_port(shard, deadline)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         daemon=True,
+                                         name="repro-cluster-monitor")
+        self._monitor.start()
+        self._notify()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> Dict[str, int]:
+        """SIGTERM every shard, wait for the graceful-drain exit.
+
+        Returns ``{name: returncode}`` — 0 everywhere when every shard
+        honoured the drain contract.
+        """
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+        # A freshly-restarted incarnation may still be importing; its
+        # signal handlers are installed strictly before the port
+        # announce, so wait for the announce (bounded) before SIGTERM
+        # or the drain contract turns into a default-handler death.
+        settle = time.monotonic() + min(10.0, timeout / 2)
+        for shard in self.shards:
+            while (shard.alive and shard.port is None
+                   and time.monotonic() < settle):
+                shard.port = self._read_port(shard)
+                if shard.port is None:
+                    time.sleep(0.05)
+        # Only processes we actually signal get a drain code: a shard
+        # that already crashed and was awaiting its respawn backoff
+        # would otherwise report its crash signal as a drain failure.
+        signalled = []
+        for shard in self.shards:
+            if shard.proc is not None and shard.proc.poll() is None:
+                try:
+                    shard.proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    continue
+                signalled.append(shard)
+        codes: Dict[str, int] = {}
+        deadline = time.monotonic() + timeout
+        for shard in signalled:
+            try:
+                shard.proc.wait(
+                    timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                shard.proc.kill()
+                shard.proc.wait(timeout=5)
+            codes[shard.name] = shard.proc.returncode
+        return codes
+
+    def kill(self, name: str) -> None:
+        """SIGKILL one shard (chaos hook); the monitor restarts it."""
+        with self._lock:
+            shard = self._find(name)
+            if shard.proc is not None and shard.proc.poll() is None:
+                shard.proc.kill()
+                shard.proc.wait(timeout=10)
+
+    def _find(self, name: str) -> ShardProcess:
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(name)
+
+    # -- spawning ------------------------------------------------------
+    def _spawn(self, shard: ShardProcess) -> None:
+        shard.incarnation += 1
+        shard.port = None
+        shard.log_path = os.path.join(
+            self.base_dir, "logs",
+            f"{shard.name}.{shard.incarnation}.log")
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--host", self.host, "--port", "0",
+               "--jobs", str(self.jobs),
+               "--backlog", str(self.backlog),
+               "--audit", shard.audit_path()]
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = shard.cache_dir()
+        env.update(self.extra_env)
+        with open(shard.log_path, "w", encoding="utf-8") as log:
+            shard.proc = subprocess.Popen(
+                cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
+
+    def _await_port(self, shard: ShardProcess, deadline: float) -> None:
+        """Poll the shard's log for the announced port."""
+        while time.monotonic() < deadline:
+            port = self._read_port(shard)
+            if port is not None:
+                shard.port = port
+                return
+            if not shard.alive:
+                raise RuntimeError(
+                    f"{shard.name} died during startup "
+                    f"(rc={shard.proc.returncode}, see {shard.log_path})")
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"{shard.name} did not announce a port in time "
+            f"(see {shard.log_path})")
+
+    def _read_port(self, shard: ShardProcess) -> Optional[int]:
+        try:
+            with open(shard.log_path, "r", encoding="utf-8") as f:
+                m = _PORT_RE.search(f.read())
+        except OSError:
+            return None
+        return int(m.group(1)) if m else None
+
+    # -- monitoring ----------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            changed = False
+            with self._lock:
+                for shard in self.shards:
+                    changed |= self._tick(shard)
+            if changed:
+                self._notify()
+
+    def _tick(self, shard: ShardProcess) -> bool:
+        """One monitor pass over one shard; True if membership moved."""
+        now = time.monotonic()
+        if shard.alive:
+            if shard.port is None:      # restarted; port pending
+                port = self._read_port(shard)
+                if port is None:
+                    return False
+                shard.port = port
+                shard.failures = 0          # healthy again: reset
+                return True
+            return False
+        if shard.proc is None:
+            return False
+        # Dead.  First tick after death: drop it from membership and
+        # arm the backoff; later ticks respawn once the gate passes.
+        if shard.port is not None:
+            shard.port = None
+            shard.next_spawn_at = now + self._backoff(shard)
+            return True
+        if now < shard.next_spawn_at or self._stop.is_set():
+            return False
+        shard.restarts += 1
+        shard.failures += 1
+        # Arm the *next* gate before spawning so an incarnation that
+        # dies during startup (port never announced) still backs off
+        # instead of crash-looping the monitor tick.
+        shard.next_spawn_at = now + self._backoff(shard)
+        self._spawn(shard)
+        return False   # membership changes when the port appears
+
+    def _backoff(self, shard: ShardProcess) -> float:
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** min(10, shard.failures)))
+
+    # -- context manager -----------------------------------------------
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

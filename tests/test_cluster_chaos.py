@@ -1,0 +1,151 @@
+"""Cluster chaos suite: SIGKILL a shard mid-flight, lose nothing.
+
+Real subprocess shards (SIGKILL and crash-time audit evidence need
+processes, not threads) under the :class:`ClusterSupervisor`, a live
+:class:`BackgroundRouter` in front, and a hard kill delivered while
+requests are in flight (``REPRO_SERVE_TEST_DELAY`` holds cells open so
+"mid-flight" is a deterministic state, not a race window).
+
+What must survive the kill:
+
+* the sweep completes with every cell 200 — the router fails the dead
+  shard's cells over to ring successors;
+* every summary is **bit-identical** to a direct ``run_version()``
+  call and to the frozen equivalence fixture — failover recomputation
+  is invisible in the numbers;
+* the supervisor restarts the killed shard (same name, new port) and
+  every shard still honours the SIGTERM drain contract (exit 0);
+* the load-harness CLI path (``--cluster --chaos-kill``, the CI smoke
+  job) reports ok end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bench.cache import placement_key
+from repro.serve import HashRing, ServiceClient, normalize_cell
+from repro.serve.load import ClusterHarness
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "engine_equivalence.json")
+VERSIONS = ("libcsr", "libcsb", "deepsparse", "hpx", "regent")
+
+#: The sweep is exactly the frozen fixture's 12-iteration row, so the
+#: post-chaos summaries can be checked against numbers frozen long
+#: before the cluster existed.
+SWEEP = {"matrices": ["inline1"], "solvers": ["lanczos"],
+         "machines": ["broadwell"], "versions": list(VERSIONS),
+         "block_counts": [16], "iterations": 12}
+
+
+def _sweep_keys() -> dict:
+    """version -> placement key, computed test-side (determinism pin)."""
+    keys = {}
+    for v in VERSIONS:
+        cell = normalize_cell({
+            "machine": "broadwell", "matrix": "inline1",
+            "solver": "lanczos", "version": v,
+            "block_count": 16, "iterations": 12})
+        keys[v] = placement_key(cell.config())
+    return keys
+
+
+def test_sigkill_mid_sweep_fails_over_bit_identically(tmp_path):
+    from repro.analysis.experiment import run_version
+
+    with ClusterHarness(
+            3, str(tmp_path / "cluster"), jobs=0,
+            extra_env={"REPRO_SERVE_TEST_DELAY": "0.25"}) as harness:
+        # Test-side ring replica predicts the router's placement from
+        # shard *names* alone — pick the victim that owns the most
+        # sweep cells, so the kill provably hits in-flight work.
+        ring = HashRing()
+        for name in harness.supervisor.members():
+            ring.add(name)
+        keys = _sweep_keys()
+        owners = {v: ring.node_for(k) for v, k in keys.items()}
+        victim = max(set(owners.values()),
+                     key=list(owners.values()).count)
+
+        result = {}
+
+        def sweep():
+            with ServiceClient(port=harness.port,
+                               timeout=120) as client:
+                result.update(client.submit_sweep(**SWEEP))
+
+        t = threading.Thread(target=sweep)
+        t.start()
+        # The per-cell test delay holds every routed cell open for
+        # 250 ms; killing inside that window guarantees the victim
+        # dies with requests in flight.
+        time.sleep(0.35)
+        harness.killed.append(victim)
+        harness.supervisor.kill(victim)
+        t.join(timeout=120)
+        assert not t.is_alive(), "sweep never completed after the kill"
+
+        restarts = {s.name: s.restarts
+                    for s in harness.supervisor.shards}
+
+    # -- the sweep completed, every cell 200 ---------------------------
+    assert result["n_cells"] == len(VERSIONS)
+    assert result["worst_status"] == 200, result
+    by_version = {}
+    for entry in result["cells"]:
+        version = entry["cell"].split("/")[3].split("@")[0]
+        assert entry["status"] == 200, entry
+        by_version[version] = entry
+
+    # -- bit-identity: direct run AND the frozen fixture ---------------
+    with open(FIXTURE, "r", encoding="utf-8") as f:
+        frozen = json.load(f)
+    for v in VERSIONS:
+        direct = run_version(
+            "broadwell", "inline1", "lanczos", v, block_count=16,
+            iterations=12).summary().to_dict()
+        assert by_version[v]["summary"] == direct, \
+            f"{v}: served summary drifted from run_version"
+        fix = frozen[f"broadwell/inline1/lanczos/{v}/16/12"]
+        assert direct["total_time"] == fix["total_time"], v
+        assert direct["iteration_times"] == fix["iteration_times"], v
+
+    # -- recovery: victim restarted, everyone drained cleanly ----------
+    assert restarts[victim] >= 1, "supervisor never restarted the victim"
+    assert all(rc == 0 for rc in harness.exit_codes.values()), \
+        f"drain exit codes: {harness.exit_codes}"
+
+
+def test_load_harness_cluster_chaos_cli(tmp_path):
+    """The CI smoke path: ``python -m repro.serve.load --cluster 2
+    --chaos-kill`` must survive a mid-load SIGKILL and report ok."""
+    from repro.serve.load import main as load_main
+
+    metrics_out = tmp_path / "cluster-report.json"
+    rc = load_main([
+        "--cluster", "2", "--chaos-kill",
+        "--cluster-dir", str(tmp_path / "cluster"),
+        "--requests", "32", "--threads", "8",
+        "--dup-fraction", "0.5",
+        "--metrics-out", str(metrics_out),
+    ])
+    assert rc == 0
+    report = json.loads(metrics_out.read_text())
+    assert report["ok"], report["errors"]
+    assert report["cluster"]["killed"], "chaos kill never fired"
+    assert all(rc == 0
+               for rc in report["cluster"]["exit_codes"].values())
+    # The audit artifacts the CI job uploads must exist: one published
+    # log per live incarnation, plus the killed incarnation's crash
+    # .part file.
+    audit_dir = tmp_path / "cluster" / "audit"
+    published = list(audit_dir.glob("*.audit.jsonl"))
+    parts = list(audit_dir.glob("*.audit.jsonl.part"))
+    assert published, "no shard published an audit log on drain"
+    assert parts, "SIGKILL should leave the victim's .part behind"

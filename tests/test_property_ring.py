@@ -1,0 +1,190 @@
+"""Property battery for the consistent-hash ring.
+
+The router's exactly-once guarantee reduces to three ring properties,
+so they get pinned adversarially here:
+
+* **determinism** — placement depends only on (node set, vnodes, key):
+  same inputs, same owner, in *any* process (the ring hashes with
+  blake2b, never Python's seeded ``hash()``).  A router restart, a
+  test-side replica of the ring, and every shard of a fleet agree.
+* **balance** — 128 virtual nodes keep the load share of the busiest
+  node within a stated bound of the mean, for any node count the
+  supervisor would realistically run.
+* **minimal remapping** — adding/removing one node moves only the keys
+  that land on (or leave) that node: ~1/N of them, never a reshuffle.
+  This is what makes a shard restart cheap: every unmoved key keeps
+  its cache domain.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.ring import DEFAULT_VNODES, HashRing
+
+# Node-name strategy: realistic shard names plus adversarial ones
+# (empty-ish, unicode, collision-bait like "shard-1" vs "shard-11").
+_names = st.lists(
+    st.one_of(
+        st.from_regex(r"shard-[0-9]{1,3}", fullmatch=True),
+        st.text(min_size=1, max_size=12),
+    ),
+    min_size=1, max_size=8, unique=True,
+)
+
+_keys = st.lists(st.text(min_size=1, max_size=40),
+                 min_size=1, max_size=64, unique=True)
+
+
+def _ring(nodes, vnodes=DEFAULT_VNODES) -> HashRing:
+    ring = HashRing(vnodes)
+    for n in nodes:
+        ring.add(n)
+    return ring
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+@given(nodes=_names, keys=_keys)
+@settings(max_examples=100, deadline=None)
+def test_placement_is_a_pure_function_of_inputs(nodes, keys):
+    a = _ring(nodes)
+    b = _ring(list(reversed(nodes)))   # insertion order must not matter
+    for key in keys:
+        assert a.node_for(key) == b.node_for(key)
+        assert a.preference(key) == b.preference(key)
+
+
+def test_placement_identical_in_a_fresh_process():
+    """The cross-process pin: a subprocess with its own interpreter
+    (its own ``PYTHONHASHSEED``) must place every key identically.
+    This is the property that lets the chaos test predict, test-side,
+    which shard the router will pick for every cell."""
+    nodes = [f"shard-{i}" for i in range(5)]
+    keys = [f"key-{i:04d}" for i in range(200)]
+    ring = _ring(nodes)
+    here = {k: ring.node_for(k) for k in keys}
+
+    prog = (
+        "import json, sys\n"
+        "from repro.serve.ring import HashRing\n"
+        "nodes, keys = json.load(sys.stdin)\n"
+        "ring = HashRing()\n"
+        "for n in nodes: ring.add(n)\n"
+        "print(json.dumps({k: ring.node_for(k) for k in keys}))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", prog],
+        input=json.dumps([nodes, keys]), capture_output=True,
+        text=True, check=True)
+    there = json.loads(out.stdout)
+    assert there == here
+
+
+# ----------------------------------------------------------------------
+# balance
+# ----------------------------------------------------------------------
+@given(n_nodes=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_load_balance_within_bound(n_nodes, seed):
+    """With 128 vnodes the busiest node's share stays within 1.7x of
+    the mean over a 4096-key sample (measured headroom: observed max
+    is ~1.45x across seeds; the bound leaves slack for sampling noise
+    without ever tolerating a degenerate ring)."""
+    ring = _ring([f"shard-{i}" for i in range(n_nodes)])
+    keys = [f"{seed}:{i}" for i in range(4096)]
+    shares = ring.shares(keys)
+    assert sum(shares.values()) == len(keys)
+    mean = len(keys) / n_nodes
+    assert max(shares.values()) <= 1.7 * mean
+    assert min(shares.values()) >= 0.4 * mean
+
+
+# ----------------------------------------------------------------------
+# minimal remapping
+# ----------------------------------------------------------------------
+@given(n_nodes=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_adding_a_node_moves_only_keys_onto_it(n_nodes, seed):
+    nodes = [f"shard-{i}" for i in range(n_nodes)]
+    keys = [f"{seed}:{i}" for i in range(2048)]
+    base = _ring(nodes)
+    before = {k: base.node_for(k) for k in keys}
+    grown = _ring(nodes + ["joiner"])
+    moved = 0
+    for k in keys:
+        owner = grown.node_for(k)
+        if owner != before[k]:
+            # A key may only move TO the new node, never between
+            # incumbents.
+            assert owner == "joiner"
+            moved += 1
+    # Expected share: 1/(n+1).  Allow 2.5x for vnode placement noise.
+    assert moved <= 2.5 * len(keys) / (n_nodes + 1)
+    assert moved > 0   # the joiner must actually take load
+
+
+@given(n_nodes=st.integers(min_value=2, max_value=8),
+       victim=st.integers(min_value=0, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_removing_a_node_moves_only_its_own_keys(n_nodes, victim, seed):
+    nodes = [f"shard-{i}" for i in range(n_nodes)]
+    gone = nodes[victim % n_nodes]
+    keys = [f"{seed}:{i}" for i in range(2048)]
+    base = _ring(nodes)
+    before = {k: base.node_for(k) for k in keys}
+    shrunk = _ring([n for n in nodes if n != gone])
+    for k in keys:
+        if before[k] == gone:
+            assert shrunk.node_for(k) != gone
+        else:
+            # Keys not owned by the removed node must not move at all.
+            assert shrunk.node_for(k) == before[k]
+
+
+@given(nodes=_names, key=st.text(min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_preference_is_owner_first_then_distinct_successors(nodes, key):
+    ring = _ring(nodes)
+    pref = ring.preference(key)
+    assert pref[0] == ring.node_for(key)
+    assert len(pref) == len(set(pref)) == len(nodes)
+    limited = ring.preference(key, limit=2)
+    assert limited == pref[:2]
+
+
+def test_failover_order_survives_the_failed_node_leaving():
+    """The router's failover contract: when the owner is removed, the
+    new owner is the old first successor — walking the preference list
+    and removing the owner agree on where keys go."""
+    nodes = [f"shard-{i}" for i in range(5)]
+    ring = _ring(nodes)
+    shrunk = {gone: _ring([n for n in nodes if n != gone])
+              for gone in nodes}
+    for i in range(200):
+        key = f"key-{i}"
+        pref = ring.preference(key)
+        assert shrunk[pref[0]].node_for(key) == pref[1]
+
+
+def test_empty_ring_and_membership_bookkeeping():
+    ring = HashRing()
+    assert ring.node_for("anything") is None
+    assert ring.preference("anything") == []
+    assert len(ring) == 0 and "x" not in ring
+    ring.add("x")
+    ring.add("x")            # idempotent
+    assert len(ring) == 1 and "x" in ring
+    assert ring.node_for("anything") == "x"
+    ring.remove("x")
+    ring.remove("x")         # idempotent
+    assert len(ring) == 0

@@ -134,6 +134,44 @@ def test_latency_window_percentiles():
     assert snap["mean_s"] == pytest.approx(0.25)
 
 
+def test_latency_window_empty_reports_none_not_crash():
+    snap = LatencyWindow().snapshot()
+    assert snap == {"count": 0, "mean_s": None,
+                    "p50_s": None, "p99_s": None}
+    assert LatencyWindow().percentile(50) is None
+
+
+def test_latency_window_single_sample_is_every_percentile():
+    w = LatencyWindow(size=4)
+    w.add(0.7)
+    for p in (0.0, 1.0, 50.0, 99.0, 100.0):
+        assert w.percentile(p) == 0.7
+    snap = w.snapshot()
+    assert snap["count"] == 1
+    assert snap["p50_s"] == snap["p99_s"] == snap["mean_s"] == 0.7
+
+
+def test_latency_window_wrap_evicts_oldest_keeps_lifetime_stats():
+    """Once the ring wraps, percentiles cover only the newest ``size``
+    samples while count/mean stay lifetime — a long-lived daemon must
+    report *recent* p99, not one diluted by yesterday."""
+    w = LatencyWindow(size=4)
+    for v in [100.0, 200.0, 1.0, 2.0, 3.0, 4.0]:
+        w.add(v)
+    # Window holds [3.0, 4.0, 1.0, 2.0]; the 100/200 outliers are gone.
+    assert w.percentile(99) == 4.0
+    assert w.percentile(50) == 2.0
+    assert w.percentile(1) == 1.0
+    snap = w.snapshot()
+    assert snap["count"] == 6                       # lifetime
+    assert snap["mean_s"] == pytest.approx(310.0 / 6)
+    # Wrap all the way around again: still exactly `size` samples.
+    for v in [5.0, 6.0, 7.0, 8.0, 9.0]:
+        w.add(v)
+    assert w.percentile(99) == 9.0 and w.percentile(1) == 6.0
+    assert w.snapshot()["count"] == 11
+
+
 # ----------------------------------------------------------------------
 # Core service behaviour (loopback, inline workers)
 # ----------------------------------------------------------------------
@@ -535,3 +573,105 @@ def test_cli_submit_unreachable_daemon(capsys):
     rc = cli_main(["submit", "--port", "1", "--matrix", "inline1"])
     assert rc == 1
     assert "cannot reach daemon" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Client keep-alive retry policy
+# ----------------------------------------------------------------------
+class _RawHttpServer(threading.Thread):
+    """A bare socket server for exercising the client's transport.
+
+    ``respond=True``: serves one well-formed keep-alive response per
+    connection, then slams the connection shut — so the *next* request
+    on that connection always hits a stale socket, deterministically.
+    ``respond=False``: accepts and immediately closes (a server that
+    is up but never answers).  ``accepted`` counts connections, which
+    is how the tests observe whether the client silently retried.
+    """
+
+    def __init__(self, respond: bool = True):
+        super().__init__(daemon=True)
+        import socket as _socket
+
+        self.respond = respond
+        self.accepted = 0
+        self._sock = _socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._shutdown = threading.Event()
+
+    def run(self):
+        self._sock.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                continue
+            self.accepted += 1
+            try:
+                if self.respond:
+                    conn.settimeout(5)
+                    buf = b""
+                    while b"\r\n\r\n" not in buf:
+                        buf += conn.recv(4096)
+                    head = buf.split(b"\r\n\r\n", 1)[0].lower()
+                    for line in head.split(b"\r\n"):
+                        if line.startswith(b"content-length:"):
+                            want = int(line.split(b":", 1)[1])
+                            body = buf.split(b"\r\n\r\n", 1)[1]
+                            while len(body) < want:
+                                body += conn.recv(4096)
+                    payload = b'{"ok": true}'
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: %d\r\n"
+                        b"Connection: keep-alive\r\n\r\n" % len(payload)
+                        + payload)
+            finally:
+                conn.close()   # the lie: keep-alive advertised, closed
+
+    def stop(self):
+        self._shutdown.set()
+        self.join(timeout=5)
+        self._sock.close()
+
+
+def test_client_retries_stale_keepalive_once(tmp_path):
+    """Regression: a connection parked past the server's keep-alive
+    close must be retried transparently on a fresh socket — the
+    second request succeeds instead of surfacing RemoteDisconnected."""
+    server = _RawHttpServer(respond=True)
+    server.start()
+    try:
+        with ServiceClient(port=server.port) as c:
+            s1, p1 = c.request("GET", "/healthz")
+            # The server closed the connection after responding; this
+            # request goes out on the stale socket first.
+            s2, p2 = c.request("GET", "/healthz")
+        assert (s1, p1) == (200, {"ok": True})
+        assert (s2, p2) == (200, {"ok": True})
+        # First request: 1 connection.  Second: stale attempt consumed
+        # nothing server-side, retry opened connection #2.
+        assert server.accepted == 2
+    finally:
+        server.stop()
+
+
+def test_client_does_not_retry_fresh_connection_failures():
+    """A server that dies without answering a *fresh* connection must
+    surface immediately — retrying could double-submit against a
+    half-alive service, and hides real outages."""
+    server = _RawHttpServer(respond=False)
+    server.start()
+    try:
+        with ServiceClient(port=server.port, timeout=5) as c:
+            with pytest.raises(OSError):
+                c.request("GET", "/healthz")
+        deadline = time.time() + 2
+        while server.accepted < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        assert server.accepted == 1   # no silent second attempt
+    finally:
+        server.stop()
